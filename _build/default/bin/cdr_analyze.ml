@@ -1,0 +1,331 @@
+(* Command-line front end for the CDR stochastic analysis.
+
+   Subcommands:
+     analyze  - stationary distribution, BER, cycle slips for one config
+     sweep    - BER vs counter length (Figure 5)
+     sigma    - BER vs eye-opening jitter (Figure 4's axis)
+     slip     - cycle-slip measures vs drift
+     mc       - Monte-Carlo baseline and comparison with the analysis
+     spy      - transition matrix structure (Figure 3)
+     solvers  - iteration/time comparison of the stationary solvers *)
+
+open Cmdliner
+
+(* ---------- shared configuration flags ---------- *)
+
+let grid =
+  let doc = "Phase-error grid bins over [-1/2, 1/2) (even, multiple of n-phases)." in
+  Arg.(value & opt int Cdr.Config.default.Cdr.Config.grid_points & info [ "grid" ] ~doc)
+
+let n_phases =
+  let doc = "Number of VCO clock phases (selector step G = 1/n-phases UI)." in
+  Arg.(value & opt int Cdr.Config.default.Cdr.Config.n_phases & info [ "phases" ] ~doc)
+
+let counter =
+  let doc = "Up/down counter overflow length K." in
+  Arg.(value & opt int Cdr.Config.default.Cdr.Config.counter_length & info [ "counter"; "k" ] ~doc)
+
+let sigma_w =
+  let doc = "Std of the white Gaussian eye-opening jitter n_w (UI)." in
+  Arg.(value & opt float Cdr.Config.default.Cdr.Config.sigma_w & info [ "sigma-w" ] ~doc)
+
+let drift_mean =
+  let doc = "Mean of the n_r drift jitter in grid bins per bit." in
+  Arg.(value & opt float 0.1 & info [ "drift-mean" ] ~doc)
+
+let drift_max =
+  let doc = "Support bound of the n_r drift jitter in grid bins." in
+  Arg.(value & opt int 2 & info [ "drift-max" ] ~doc)
+
+let max_run =
+  let doc = "Longest run of identical bits in the data (forced transition after)." in
+  Arg.(value & opt int Cdr.Config.default.Cdr.Config.max_run & info [ "max-run" ] ~doc)
+
+let p_transition =
+  let doc = "Per-bit data transition probability (both directions)." in
+  Arg.(value & opt float 0.5 & info [ "p-transition" ] ~doc)
+
+let config_term =
+  let make grid n_phases counter sigma_w drift_mean drift_max max_run p =
+    match
+      Cdr.Config.validate
+        {
+          Cdr.Config.default with
+          Cdr.Config.grid_points = grid;
+          n_phases;
+          counter_length = counter;
+          sigma_w;
+          nr = Prob.Jitter.drift ~max_steps:drift_max ~mean_steps:drift_mean ();
+          max_run;
+          p01 = p;
+          p10 = p;
+        }
+    with
+    | Ok () ->
+        Ok
+          {
+            Cdr.Config.default with
+            Cdr.Config.grid_points = grid;
+            n_phases;
+            counter_length = counter;
+            sigma_w;
+            nr = Prob.Jitter.drift ~max_steps:drift_max ~mean_steps:drift_mean ();
+            max_run;
+            p01 = p;
+            p10 = p;
+          }
+    | Error msg -> Error (`Msg ("invalid configuration: " ^ msg))
+  in
+  Term.(
+    term_result
+      (const make $ grid $ n_phases $ counter $ sigma_w $ drift_mean $ drift_max $ max_run
+     $ p_transition))
+
+let solver =
+  let solver_conv =
+    Arg.enum [ ("multigrid", `Multigrid); ("power", `Power); ("gauss-seidel", `Gauss_seidel) ]
+  in
+  let doc = "Stationary solver: multigrid, power, or gauss-seidel." in
+  Arg.(value & opt solver_conv `Multigrid & info [ "solver" ] ~doc)
+
+(* the CLI exposes the three practical solvers; widen to Model.solve's type *)
+let widen_solver (s : [ `Multigrid | `Power | `Gauss_seidel ]) =
+  (s
+    :> [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ])
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let run cfg solver =
+    let report = Cdr.Report.run ~solver cfg in
+    Format.printf "%a@." Cdr.Report.pp report;
+    let model = Cdr.Model.build cfg in
+    let solution = Cdr.Model.solve ~solver:(widen_solver solver) model in
+    let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
+    Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf
+  in
+  let doc = "Stationary phase-error density, BER and cycle-slip time for one configuration." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ config_term $ solver)
+
+(* ---------- sweep (counter) ---------- *)
+
+let sweep_cmd =
+  let lengths =
+    let doc = "Counter lengths to evaluate." in
+    Arg.(value & opt (list int) [ 2; 4; 8; 16; 32 ] & info [ "lengths" ] ~doc)
+  in
+  let run cfg solver lengths =
+    let points = Cdr.Sweep.counter_lengths ~solver cfg lengths in
+    Format.printf "%a@." Cdr.Sweep.pp_points points;
+    let k, ber = Cdr.Sweep.optimal_counter ~solver cfg lengths in
+    Format.printf "optimal counter length: %d (BER %.3e)@." k ber
+  in
+  let doc = "BER vs counter length (the paper's Figure 5)." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ config_term $ solver $ lengths)
+
+(* ---------- sigma sweep ---------- *)
+
+let sigma_cmd =
+  let sigmas =
+    let doc = "Eye-opening jitter levels to evaluate." in
+    Arg.(value & opt (list float) [ 0.04; 0.05; 0.0625; 0.08; 0.1 ] & info [ "values" ] ~doc)
+  in
+  let run cfg solver sigmas =
+    let points = Cdr.Sweep.sigma_w_values ~solver cfg sigmas in
+    Format.printf "%a@." Cdr.Sweep.pp_points points
+  in
+  let doc = "BER vs eye-opening jitter level (the axis of the paper's Figure 4)." in
+  Cmd.v (Cmd.info "sigma" ~doc) Term.(const run $ config_term $ solver $ sigmas)
+
+(* ---------- slip ---------- *)
+
+let slip_cmd =
+  let run cfg solver =
+    let model = Cdr.Model.build cfg in
+    let solution = Cdr.Model.solve ~solver:(widen_solver solver) model in
+    let rate = Cdr.Cycle_slip.rate model ~pi:solution.Markov.Solution.pi in
+    let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
+    let first = Cdr.Cycle_slip.mean_first_slip_time model in
+    Format.printf "slip rate          : %.4e per bit@." rate;
+    Format.printf "mean time between  : %.4e bits@." mtbf;
+    Format.printf "mean first slip    : %.4e bits (from lock)@." first
+  in
+  let doc = "Cycle-slip rate and mean times (first-passage analysis)." in
+  Cmd.v (Cmd.info "slip" ~doc) Term.(const run $ config_term $ solver)
+
+(* ---------- mc ---------- *)
+
+let mc_cmd =
+  let bits =
+    let doc = "Bit intervals to simulate." in
+    Arg.(value & opt int 1_000_000 & info [ "bits" ] ~doc)
+  in
+  let seed =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int64 42L & info [ "seed" ] ~doc)
+  in
+  let run cfg solver bits seed =
+    let model = Cdr.Model.build cfg in
+    let result, _solution = Cdr.Ber.analyze ~solver model in
+    Format.printf "analysis BER      : %.4e@." result.Cdr.Ber.ber;
+    let o = Sim.Transient.run ~seed cfg ~bits in
+    let p = Sim.Estimate.point_estimate ~errors:o.Sim.Transient.errors ~bits in
+    let iv = Sim.Estimate.wilson ~errors:o.Sim.Transient.errors ~bits () in
+    Format.printf "simulated BER     : %.4e (%d errors in %d bits)@." p o.Sim.Transient.errors bits;
+    Format.printf "95%% interval      : [%.4e, %.4e]@." iv.Sim.Estimate.lower iv.Sim.Estimate.upper;
+    Format.printf "slips observed    : %d@." o.Sim.Transient.slips;
+    let needed = Sim.Estimate.required_bits ~ber:(Float.max result.Cdr.Ber.ber 1e-300) () in
+    Format.printf "bits needed for a 10%%-accurate MC estimate of the analysis BER: %.2e@." needed;
+    if needed > float_of_int bits then
+      Format.printf "(%.1e times more than simulated here -- the paper's infeasibility argument)@."
+        (needed /. float_of_int bits)
+  in
+  let doc = "Monte-Carlo baseline vs the Markov-chain analysis." in
+  Cmd.v (Cmd.info "mc" ~doc) Term.(const run $ config_term $ solver $ bits $ seed)
+
+(* ---------- spy ---------- *)
+
+let spy_cmd =
+  let run cfg =
+    let model = Cdr.Model.build cfg in
+    Format.printf "%a@." Sparse.Spy.pp (Markov.Chain.tpm model.Cdr.Model.chain);
+    Format.printf "@.";
+    let net, _ = Cdr.Model.network cfg in
+    Format.printf "%a@." Fsm.Network.pp_summary net
+  in
+  let doc = "Nonzero pattern of the transition probability matrix (the paper's Figure 3)." in
+  Cmd.v (Cmd.info "spy" ~doc) Term.(const run $ config_term)
+
+(* ---------- tolerance ---------- *)
+
+let tolerance_cmd =
+  let target =
+    let doc = "BER target for the tolerance mask." in
+    Arg.(value & opt float 1e-12 & info [ "ber-target" ] ~doc)
+  in
+  let family =
+    let family_conv =
+      Arg.enum [ ("sinusoidal", Cdr.Tolerance.Sinusoidal); ("wander", Cdr.Tolerance.Wander 0.5) ]
+    in
+    let doc = "Jitter family: sinusoidal or wander (rms = max/2)." in
+    Arg.(value & opt family_conv Cdr.Tolerance.Sinusoidal & info [ "family" ] ~doc)
+  in
+  let run cfg target family =
+    let result = Cdr.Tolerance.analyze ~family ~ber_target:target cfg in
+    Format.printf "%a@." Cdr.Tolerance.pp result
+  in
+  let doc = "Jitter tolerance: largest input jitter meeting a BER target (bisection)." in
+  Cmd.v (Cmd.info "tolerance" ~doc) Term.(const run $ config_term $ target $ family)
+
+(* ---------- acquisition & clock jitter ---------- *)
+
+let acquisition_cmd =
+  let band =
+    let doc = "Lock band in UI (default: one selector step G)." in
+    Arg.(value & opt (some float) None & info [ "band" ] ~doc)
+  in
+  let run cfg band =
+    let model = Cdr.Model.build cfg in
+    let acq = Cdr.Acquisition.analyze ?lock_band_ui:band model in
+    Format.printf "%a@.@." Cdr.Acquisition.pp acq;
+    let solution = Cdr.Model.solve model in
+    let jitter = Cdr.Clock_jitter.analyze model ~pi:solution.Markov.Solution.pi in
+    Format.printf "%a@." Cdr.Clock_jitter.pp jitter
+  in
+  let doc = "Lock-acquisition times and recovered-clock jitter statistics." in
+  Cmd.v (Cmd.info "acquisition" ~doc) Term.(const run $ config_term $ band)
+
+(* ---------- scenario ---------- *)
+
+let scenario_cmd =
+  let scenario_name =
+    let doc = "Scenario name (omit to list all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun s -> Format.printf "%-28s %s@." s.Cdr.Scenario.name s.Cdr.Scenario.description)
+          Cdr.Scenario.all
+    | Some name -> (
+        match Cdr.Scenario.find name with
+        | None ->
+            Format.eprintf "unknown scenario %s@." name;
+            exit 1
+        | Some s ->
+            Format.printf "%a@.@." Cdr.Scenario.pp s;
+            let passes, ber = Cdr.Scenario.meets_specification s in
+            Format.printf "analysis BER: %.3e -> %s the %.0e specification@." ber
+              (if passes then "MEETS" else "FAILS")
+              s.Cdr.Scenario.ber_specification)
+  in
+  let doc = "Evaluate a named operating scenario against its BER specification." in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(const run $ scenario_name)
+
+(* ---------- dot ---------- *)
+
+let dot_cmd =
+  let run cfg =
+    let net, _ = Cdr.Model.network cfg in
+    print_string (Fsm.Network.to_dot net)
+  in
+  let doc = "Emit the FSM network as a Graphviz digraph (Figure 2)." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ config_term)
+
+(* ---------- spectrum ---------- *)
+
+let spectrum_cmd =
+  let lags =
+    let doc = "Autocovariance lags to compute before the transform." in
+    Arg.(value & opt int 256 & info [ "lags" ] ~doc)
+  in
+  let run cfg lags =
+    let model = Cdr.Model.build cfg in
+    let solution = Cdr.Model.solve model in
+    let psd = Cdr.Clock_jitter.spectrum ~lags model ~pi:solution.Markov.Solution.pi in
+    Format.printf "frequency(cycles/bit),psd@.";
+    Array.iter (fun (f, p) -> Format.printf "%.6f,%.6e@." f p) psd
+  in
+  let doc = "Recovered-clock jitter power spectral density (CSV on stdout)." in
+  Cmd.v (Cmd.info "spectrum" ~doc) Term.(const run $ config_term $ lags)
+
+(* ---------- csv ---------- *)
+
+let csv_cmd =
+  let run cfg =
+    let report = Cdr.Report.run cfg in
+    print_string (Cdr.Report.to_csv report)
+  in
+  let doc = "Stationary density series as CSV on stdout (for plotting)." in
+  Cmd.v (Cmd.info "csv" ~doc) Term.(const run $ config_term)
+
+(* ---------- solvers ---------- *)
+
+let solvers_cmd =
+  let run cfg =
+    let model = Cdr.Model.build cfg in
+    Format.printf "chain: %d states@.@." model.Cdr.Model.n_states;
+    let cases =
+      [ ("multigrid", `Multigrid); ("gauss-seidel", `Gauss_seidel); ("jacobi", `Jacobi);
+        ("power", `Power); ("aggregation", `Aggregation); ("arnoldi", `Arnoldi) ]
+    in
+    List.iter
+      (fun (name, s) ->
+        let t0 = Unix.gettimeofday () in
+        let sol = Cdr.Model.solve ~solver:s ~tol:1e-10 model in
+        Format.printf "%-14s %6d iterations  residual %.2e  %6.2fs %s@." name
+          sol.Markov.Solution.iterations sol.Markov.Solution.residual
+          (Unix.gettimeofday () -. t0)
+          (if sol.Markov.Solution.converged then "" else "(NOT converged)"))
+      cases
+  in
+  let doc = "Compare the stationary solvers on the composed chain." in
+  Cmd.v (Cmd.info "solvers" ~doc) Term.(const run $ config_term)
+
+let () =
+  let doc = "Stochastic performance analysis of digital clock-data recovery circuits" in
+  let info = Cmd.info "cdr_analyze" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ analyze_cmd; sweep_cmd; sigma_cmd; slip_cmd; mc_cmd; spy_cmd; tolerance_cmd;
+         acquisition_cmd; scenario_cmd; dot_cmd; spectrum_cmd; csv_cmd; solvers_cmd ]))

@@ -1,0 +1,1 @@
+examples/acquisition_study.mli:

@@ -1,0 +1,1 @@
+examples/counter_sweep.ml: Cdr Format List Prob

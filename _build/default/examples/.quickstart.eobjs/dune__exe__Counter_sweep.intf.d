@@ -1,0 +1,1 @@
+examples/counter_sweep.mli:

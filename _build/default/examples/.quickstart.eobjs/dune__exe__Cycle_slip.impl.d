@@ -1,0 +1,1 @@
+examples/cycle_slip.ml: Cdr Format List Markov Prob Sim

@@ -1,0 +1,1 @@
+examples/cycle_slip.mli:

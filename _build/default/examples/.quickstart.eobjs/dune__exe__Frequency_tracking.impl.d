@@ -1,0 +1,1 @@
+examples/frequency_tracking.ml: Array Cdr Format List Markov Prob

@@ -1,0 +1,1 @@
+examples/frequency_tracking.mli:

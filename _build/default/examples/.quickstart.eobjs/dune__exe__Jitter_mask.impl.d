@@ -1,0 +1,1 @@
+examples/jitter_mask.ml: Cdr Format List

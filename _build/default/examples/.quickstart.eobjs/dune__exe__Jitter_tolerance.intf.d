@@ -1,0 +1,1 @@
+examples/jitter_tolerance.mli:

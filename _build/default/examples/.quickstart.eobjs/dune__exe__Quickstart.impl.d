@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cdr Format Markov

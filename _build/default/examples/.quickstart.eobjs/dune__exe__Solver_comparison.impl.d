@@ -1,0 +1,1 @@
+examples/solver_comparison.ml: Cdr Format Linalg List Markov Unix

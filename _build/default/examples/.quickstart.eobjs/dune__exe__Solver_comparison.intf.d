@@ -1,0 +1,1 @@
+examples/solver_comparison.mli:

@@ -1,0 +1,1 @@
+examples/symbolic_tpm.ml: Array Format Linalg List Pdd Sparse

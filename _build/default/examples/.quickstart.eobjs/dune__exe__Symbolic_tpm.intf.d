@@ -1,0 +1,1 @@
+examples/symbolic_tpm.mli:

@@ -1,0 +1,53 @@
+(* Second-order loop study: phase selection plus frequency tracking.
+
+   A constant frequency offset between transmitter and receiver appears in
+   the model as the non-zero mean of n_r. The first-order loop fights it
+   with phase corrections alone; adding a frequency register (two more FSMs
+   in the same network) cancels it at the source. This example sweeps the
+   drift and compares the two architectures — a design-space exploration
+   that exists only because the composed model stays a Markov chain.
+
+   Run with: dune exec examples/frequency_tracking.exe *)
+
+let () =
+  let base =
+    {
+      Cdr.Config.default with
+      Cdr.Config.grid_points = 32;
+      n_phases = 8;
+      counter_length = 3;
+      max_run = 4;
+      nw_max_atoms = 17;
+      sigma_w = 0.08;
+    }
+  in
+  Format.printf "%-12s | %-26s | %-26s@." "" "first-order loop" "with frequency tracking";
+  Format.printf "%-12s | %-12s %-12s | %-12s %-12s %-6s@." "drift mean" "BER" "slips/bit" "BER"
+    "slips/bit" "P(f=1)";
+  List.iter
+    (fun mean_steps ->
+      let cfg =
+        Cdr.Config.create_exn
+          { base with Cdr.Config.nr = Prob.Jitter.drift ~max_steps:2 ~mean_steps () }
+      in
+      let first = Cdr.Model.build cfg in
+      let sol1 = Cdr.Model.solve first in
+      let rho1 = Cdr.Model.phase_marginal first ~pi:sol1.Markov.Solution.pi in
+      let ber1 = Cdr.Ber.of_marginal cfg ~rho:rho1 in
+      let slip1 = Cdr.Cycle_slip.rate first ~pi:sol1.Markov.Solution.pi in
+      let second =
+        Cdr.Freq_track.build ~params:{ Cdr.Freq_track.max_f = 1; adapt_length = 3 } cfg
+      in
+      let sol2 = Cdr.Freq_track.solve ~tol:1e-9 second in
+      let pi2 = sol2.Markov.Solution.pi in
+      let marg = Cdr.Freq_track.freq_marginal second ~pi:pi2 in
+      Format.printf "%-12g | %-12.3e %-12.3e | %-12.3e %-12.3e %-6.2f@." mean_steps ber1 slip1
+        (Cdr.Freq_track.ber second ~pi:pi2)
+        (Cdr.Freq_track.slip_rate second ~pi:pi2)
+        (snd marg.(2)))
+    [ 0.1; 0.4; 0.8; 1.2 ];
+  Format.printf
+    "@.as the drift approaches one bin per bit the register locks to f = 1 and removes@.";
+  Format.printf "it (orders of magnitude in BER and slips); at weak drift the register dithers@.";
+  Format.printf "between 0 and 1 and its whole-bin jumps actually hurt - frequency tracking@.";
+  Format.printf "pays off only when the offset is comparable to its quantization step.@."

@@ -1,0 +1,36 @@
+(* Jitter-tolerance mask: how much input jitter the receiver absorbs while
+   holding a BER target — the characterization jitter specifications are
+   written against (cf. the SONET jitter-tolerance mask).
+
+   Each probe of the bisection is a full stationary analysis of the composed
+   Markov chain; the same curve by Monte Carlo would need ~1/BER bits per
+   probe.
+
+   Run with: dune exec examples/jitter_mask.exe *)
+
+let () =
+  let base =
+    {
+      Cdr.Config.default with
+      Cdr.Config.grid_points = 64;
+      n_phases = 16;
+      counter_length = 4;
+      sigma_w = 0.05;
+    }
+  in
+  Format.printf "base configuration:@.%a@.@." Cdr.Config.pp base;
+  List.iter
+    (fun ber_target ->
+      Format.printf "=== BER target %.0e ===@." ber_target;
+      let sinusoidal = Cdr.Tolerance.analyze ~family:Cdr.Tolerance.Sinusoidal ~ber_target base in
+      Format.printf "sinusoidal-equivalent jitter: tolerates %.4f UI peak@."
+        sinusoidal.Cdr.Tolerance.tolerance_ui;
+      let wander =
+        Cdr.Tolerance.analyze ~family:(Cdr.Tolerance.Wander 0.5) ~ber_target base
+      in
+      Format.printf "bounded wander (rms = max/2) : tolerates %.4f UI peak@.@."
+        wander.Cdr.Tolerance.tolerance_ui)
+    [ 1e-6; 1e-9 ];
+  Format.printf "full probe trace at 1e-9, sinusoidal:@.";
+  let detail = Cdr.Tolerance.analyze ~ber_target:1e-9 base in
+  Format.printf "%a@." Cdr.Tolerance.pp detail

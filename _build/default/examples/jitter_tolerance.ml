@@ -1,0 +1,40 @@
+(* Jitter-tolerance study (the paper's Figure 4 experiment, extended).
+
+   Sweep the eye-opening jitter sigma_w and watch the BER climb from
+   "unmeasurable by any simulation" (1e-17 and below) to "visible on a
+   scope" (1e-3) — then do the same for different drift models, including
+   the sinusoidal-jitter equivalent the paper mentions.
+
+   Run with: dune exec examples/jitter_tolerance.exe *)
+
+let () =
+  let base = Cdr.Config.default in
+  Format.printf "=== BER vs eye-opening jitter sigma_w ===@.@.";
+  let sigmas = [ 0.04; 0.05; 0.0625; 0.08; 0.10; 0.125 ] in
+  let points = Cdr.Sweep.sigma_w_values base sigmas in
+  Format.printf "%a@." Cdr.Sweep.pp_points points;
+  Format.printf "Note the double-exponential sensitivity: halving the eye-opening jitter@.";
+  Format.printf "moves the BER by many orders of magnitude. This is why the paper's@.";
+  Format.printf "industrial design missed its 1e-10 specification by 'more than an order@.";
+  Format.printf "of magnitude' from interference noise alone.@.@.";
+
+  Format.printf "=== BER vs drift model (sigma_w fixed at %g) ===@.@." base.Cdr.Config.sigma_w;
+  let drift_cases =
+    [
+      ("no drift", Prob.Pmf.point 0);
+      ("peaked drift, mean 0.1 bins", Prob.Jitter.drift ~max_steps:2 ~mean_steps:0.1 ());
+      ("uniform drift, mean 0.1 bins", Prob.Jitter.drift ~max_steps:2 ~mean_steps:0.1 ~shape:`Uniform ());
+      ("strong drift, mean 0.3 bins", Prob.Jitter.drift ~max_steps:2 ~mean_steps:0.3 ());
+      ("zero-mean wander, rms 0.5 bins", Prob.Jitter.symmetric_wander ~max_steps:2 ~rms_steps:0.5);
+      ("sinusoidal equivalent, amp 2 bins", Prob.Jitter.sinusoidal_equivalent ~amplitude_steps:2);
+    ]
+  in
+  Format.printf "%-36s %-12s %-14s@." "drift model" "BER" "slips MTBF";
+  List.iter
+    (fun (name, nr) ->
+      let cfg = Cdr.Config.create_exn { base with Cdr.Config.nr } in
+      let model = Cdr.Model.build cfg in
+      let result, solution = Cdr.Ber.analyze model in
+      let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
+      Format.printf "%-36s %-12.3e %-14.3e@." name result.Cdr.Ber.ber mtbf)
+    drift_cases

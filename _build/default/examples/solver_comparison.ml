@@ -1,0 +1,43 @@
+(* Solver comparison on the CDR chain: the paper's numerical-methods story.
+
+   Plain iterative methods slow down as the chain stiffens (finer phase
+   grids, smaller noise -> subdominant eigenvalue closer to 1), while the
+   structured multilevel method converges in a nearly grid-independent
+   number of cycles. This example prints iteration counts and timings per
+   solver over a grid sweep.
+
+   Run with: dune exec examples/solver_comparison.exe *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let tol = 1e-10 in
+  Format.printf "tolerance: l1 stationarity residual <= %g@.@." tol;
+  Format.printf "%-6s %-8s | %-22s | %-22s | %-22s@." "grid" "states" "multigrid (cyc, s)"
+    "gauss-seidel (it, s)" "power (it, s)";
+  List.iter
+    (fun grid_points ->
+      let cfg =
+        Cdr.Config.create_exn
+          { Cdr.Config.default with Cdr.Config.grid_points; sigma_w = 0.04 }
+      in
+      let model = Cdr.Model.build cfg in
+      let mg, mg_t = time (fun () -> Cdr.Model.solve ~tol model) in
+      let gs, gs_t = time (fun () -> Cdr.Model.solve ~solver:`Gauss_seidel ~tol model) in
+      let pw, pw_t = time (fun () -> Cdr.Model.solve ~solver:`Power ~tol model) in
+      Format.printf "%-6d %-8d | %6d cycles %8.2fs | %6d sweeps %8.2fs | %6d iters %8.2fs@."
+        grid_points model.Cdr.Model.n_states mg.Markov.Solution.iterations mg_t
+        gs.Markov.Solution.iterations gs_t pw.Markov.Solution.iterations pw_t;
+      (* all three must agree *)
+      let d1 = Linalg.Vec.dist_l1 mg.Markov.Solution.pi gs.Markov.Solution.pi in
+      let d2 = Linalg.Vec.dist_l1 mg.Markov.Solution.pi pw.Markov.Solution.pi in
+      if d1 > 1e-6 || d2 > 1e-6 then
+        Format.printf "  WARNING: solvers disagree (%.2e, %.2e)@." d1 d2)
+    [ 64; 128; 256 ];
+  Format.printf
+    "@.The point of the dedicated multigrid method: its cycle count stays flat as the@.";
+  Format.printf "grid refines, while the per-iteration convergence of the one-level methods@.";
+  Format.printf "degrades with the subdominant eigenvalue of the stiffening chain.@."

@@ -1,0 +1,1 @@
+lib/core/acquisition.ml: Array Config Float Format Markov Model

@@ -1,0 +1,1 @@
+lib/core/acquisition.mli: Format Model

@@ -1,0 +1,1 @@
+lib/core/activity.ml: Config Data_source Float Format Markov Model Phase_detector Prob

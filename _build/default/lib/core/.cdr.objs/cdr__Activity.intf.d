@@ -1,0 +1,1 @@
+lib/core/activity.mli: Format Linalg Model

@@ -1,0 +1,1 @@
+lib/core/ber.ml: Array Config Float Linalg List Markov Model Prob

@@ -1,0 +1,1 @@
+lib/core/ber.mli: Config Linalg Markov Model

@@ -1,0 +1,1 @@
+lib/core/clock_jitter.ml: Array Config Float Format Linalg Markov Model

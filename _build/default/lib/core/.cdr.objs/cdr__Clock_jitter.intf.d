@@ -1,0 +1,1 @@
+lib/core/clock_jitter.mli: Format Linalg Model

@@ -1,0 +1,1 @@
+lib/core/counter.ml: Array Config Fsm Phase_detector Printf

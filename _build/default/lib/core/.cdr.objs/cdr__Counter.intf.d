@@ -1,0 +1,1 @@
+lib/core/counter.mli: Config Fsm

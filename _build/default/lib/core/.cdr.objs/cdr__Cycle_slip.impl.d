@@ -1,0 +1,1 @@
+lib/core/cycle_slip.ml: Array Float Markov Model Phase_error Sparse

@@ -1,0 +1,1 @@
+lib/core/cycle_slip.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/data_source.ml: Array Config Fsm Markov Printf Prob

@@ -1,0 +1,1 @@
+lib/core/data_source.mli: Config Fsm

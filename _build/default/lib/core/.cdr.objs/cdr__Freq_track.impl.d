@@ -1,0 +1,1 @@
+lib/core/freq_track.ml: Array Ber Config Counter Data_source Fsm Markov Model Phase_detector Phase_error Printf Prob Unix

@@ -1,0 +1,1 @@
+lib/core/freq_track.mli: Config Linalg Markov

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Config Counter Data_source Fsm Hashtbl List Markov Option Phase_detector Phase_error Prob Queue Sparse Unix

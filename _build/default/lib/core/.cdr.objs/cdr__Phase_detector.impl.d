@@ -1,0 +1,1 @@
+lib/core/phase_detector.ml: Array Config Data_source Fsm Printf Prob

@@ -1,0 +1,1 @@
+lib/core/phase_detector.mli: Config Fsm

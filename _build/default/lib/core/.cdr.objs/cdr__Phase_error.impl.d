@@ -1,0 +1,1 @@
+lib/core/phase_error.ml: Array Config Counter Fsm Printf Prob

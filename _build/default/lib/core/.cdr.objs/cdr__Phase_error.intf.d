@@ -1,0 +1,1 @@
+lib/core/phase_error.mli: Config Counter Fsm

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Ber Buffer Config Float Format Linalg Markov Model Printf String Unix

@@ -1,0 +1,1 @@
+lib/core/report.mli: Config Format Linalg

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Ber Config Format List Model Prob

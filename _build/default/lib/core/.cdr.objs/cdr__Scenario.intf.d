@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Config Format

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Config Format List Report

@@ -1,0 +1,1 @@
+lib/core/tolerance.ml: Ber Config Format List Markov Model Prob

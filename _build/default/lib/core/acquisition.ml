@@ -1,0 +1,44 @@
+type t = {
+  lock_band_ui : float;
+  mean_from_worst_phase : float;
+  mean_from_half_ui : float;
+  per_phase_bin : (float * float) array;
+}
+
+let analyze ?lock_band_ui ?tol model =
+  let cfg = model.Model.config in
+  let lock_band_ui =
+    match lock_band_ui with Some b -> b | None -> 1.0 /. float_of_int cfg.Config.n_phases
+  in
+  if lock_band_ui <= 0.0 || lock_band_ui >= 0.5 then
+    invalid_arg "Acquisition.analyze: lock band must lie in (0, 1/2)";
+  let locked i = abs_float (Config.phase_of_bin cfg (model.Model.phase_bin i)) <= lock_band_ui in
+  let times = Markov.Passage.mean_hitting_times ?tol model.Model.chain ~target:locked in
+  (* average the acquisition time over the FSM coordinates per phase bin *)
+  let m = cfg.Config.grid_points in
+  let sums = Array.make m 0.0 and counts = Array.make m 0 in
+  Array.iteri
+    (fun i t ->
+      let b = model.Model.phase_bin i in
+      sums.(b) <- sums.(b) +. t;
+      counts.(b) <- counts.(b) + 1)
+    times;
+  let per_phase_bin =
+    Array.init m (fun b ->
+        ( Config.phase_of_bin cfg b,
+          if counts.(b) = 0 then Float.nan else sums.(b) /. float_of_int counts.(b) ))
+  in
+  let mean_from_worst_phase =
+    Array.fold_left
+      (fun acc (_, t) -> if Float.is_nan t then acc else Float.max acc t)
+      0.0 per_phase_bin
+  in
+  let mean_from_half_ui = snd per_phase_bin.(0) in
+  { lock_band_ui; mean_from_worst_phase; mean_from_half_ui; per_phase_bin }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>lock acquisition (band +-%.4f UI):@,\
+     \  from worst-case phase: %.1f bits@,\
+     \  from the eye edge    : %.1f bits@]"
+    t.lock_band_ui t.mean_from_worst_phase t.mean_from_half_ui

@@ -1,0 +1,71 @@
+type t = {
+  correction_rate : float;
+  mean_bits_between_corrections : float;
+  data_transition_density : float;
+  detector_activity : float;
+}
+
+(* shortest signed phase move i -> j on the wrapped grid *)
+let signed_delta cfg src dst =
+  let m = cfg.Config.grid_points in
+  let d = ((dst - src + (m / 2)) mod m + m) mod m - (m / 2) in
+  d
+
+let analyze model ~pi =
+  let cfg = model.Model.config in
+  let g = Config.g_steps cfg in
+  let max_nr =
+    max (abs (Prob.Pmf.min_support cfg.Config.nr)) (abs (Prob.Pmf.max_support cfg.Config.nr))
+  in
+  if g <= 2 * max_nr then
+    invalid_arg
+      "Activity.analyze: selector step must exceed twice the n_r amplitude to identify corrections";
+  let threshold = g - max_nr in
+  let correction_rate =
+    Markov.Reward.transition_rate model.Model.chain ~pi ~reward:(fun i j ->
+        let d = signed_delta cfg (model.Model.phase_bin i) (model.Model.phase_bin j) in
+        if abs d >= threshold then 1.0 else 0.0)
+  in
+  (* transition probability per data state, exact from the source model *)
+  let p_flip data_code =
+    let s = Data_source.decode cfg data_code in
+    if s.Data_source.run >= cfg.Config.max_run then 1.0
+    else if s.Data_source.bit = 0 then cfg.Config.p01
+    else cfg.Config.p10
+  in
+  let data_transition_density =
+    Markov.Reward.long_run_average ~pi ~reward:(fun i -> p_flip (model.Model.data_code i))
+  in
+  (* LEAD/LAG decision density: on a transition, the detector abstains only
+     on the tie atom *)
+  let detector_activity =
+    Markov.Reward.long_run_average ~pi ~reward:(fun i ->
+        let bin = model.Model.phase_bin i in
+        let p_lead = Phase_detector.lead_probability cfg ~phase_bin:bin in
+        (* by symmetry of the construction, P(lag) = lead probability of the
+           mirrored phase; compute directly instead *)
+        let nw, scale = Config.nw_pmf cfg in
+        let phase_bins = bin - (cfg.Config.grid_points / 2) in
+        let dz = cfg.Config.detector_dead_zone in
+        let p_lag =
+          Prob.Pmf.fold nw ~init:0.0 ~f:(fun acc k w ->
+              if phase_bins + (k * scale) < -dz then acc +. w else acc)
+        in
+        p_flip (model.Model.data_code i) *. (p_lead +. p_lag))
+  in
+  {
+    correction_rate;
+    mean_bits_between_corrections =
+      (if correction_rate > 0.0 then 1.0 /. correction_rate else Float.infinity);
+    data_transition_density;
+    detector_activity;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>loop activity:@,\
+     \  phase corrections : %.5f per bit (every %.1f bits)@,\
+     \  data transitions  : %.5f per bit@,\
+     \  LEAD/LAG decisions: %.5f per bit@]"
+    t.correction_rate t.mean_bits_between_corrections t.data_transition_density
+    t.detector_activity

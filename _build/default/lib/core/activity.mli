@@ -1,0 +1,22 @@
+(** Loop activity metrics — reward-model computations on the composed chain.
+
+    Beyond the BER, designers budget how *busy* the loop is: every phase-mux
+    switch costs power and injects supply noise (the very interference the
+    paper's motivating design suffered from), and the phase detector's
+    decision density sets the loop's effective gain. All are long-run
+    averages of rewards on states or transitions. *)
+
+type t = {
+  correction_rate : float; (* phase-select steps per bit interval *)
+  mean_bits_between_corrections : float;
+  data_transition_density : float; (* data transitions per bit *)
+  detector_activity : float; (* LEAD/LAG decisions per bit *)
+}
+
+val analyze : Model.t -> pi:Linalg.Vec.t -> t
+(** Corrections are identified from the phase movement between states, which
+    requires the selector step to exceed twice the largest [n_r] amplitude
+    (raises [Invalid_argument] otherwise — the correction would be
+    indistinguishable from drift). *)
+
+val pp : Format.formatter -> t -> unit

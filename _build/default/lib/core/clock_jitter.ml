@@ -1,0 +1,66 @@
+type t = {
+  mean_ui : float;
+  rms_ui : float;
+  peak_to_peak_ui : float;
+  autocorrelation : float array;
+  correlation_time : float;
+}
+
+let analyze ?(lags = 64) model ~pi =
+  let cfg = model.Model.config in
+  let phase_of_state i = Config.phase_of_bin cfg (model.Model.phase_bin i) in
+  let mean_ui = Markov.Stat.expectation ~pi ~f:phase_of_state in
+  let rms_ui = sqrt (Markov.Stat.variance ~pi ~f:phase_of_state) in
+  (* peak-to-peak over the bins actually carrying mass above double-rounding
+     dust *)
+  let rho = Model.phase_marginal model ~pi in
+  let lo = ref (Array.length rho) and hi = ref (-1) in
+  Array.iteri
+    (fun b p ->
+      if p > 1e-15 then begin
+        if b < !lo then lo := b;
+        if b > !hi then hi := b
+      end)
+    rho;
+  let peak_to_peak_ui =
+    if !hi < !lo then 0.0
+    else Config.phase_of_bin cfg !hi -. Config.phase_of_bin cfg !lo
+  in
+  let autocorrelation = Markov.Stat.autocorrelation model.Model.chain ~pi ~f:phase_of_state ~lags in
+  let correlation_time =
+    let threshold = exp (-1.0) in
+    let rec find k =
+      if k > lags then Float.infinity
+      else if abs_float autocorrelation.(k) < threshold then float_of_int k
+      else find (k + 1)
+    in
+    find 0
+  in
+  { mean_ui; rms_ui; peak_to_peak_ui; autocorrelation; correlation_time }
+
+let spectrum ?(lags = 256) model ~pi =
+  let cfg = model.Model.config in
+  let phase_of_state i = Config.phase_of_bin cfg (model.Model.phase_bin i) in
+  let r = Markov.Stat.autocovariance model.Model.chain ~pi ~f:phase_of_state ~lags in
+  (* symmetric extension R(-k) = R(k) onto a power-of-two circle, with a Hann
+     taper so the truncated tail does not ring *)
+  let n = Linalg.Fft.next_power_of_two (2 * (lags + 1)) in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  let taper k = 0.5 *. (1.0 +. cos (Float.pi *. float_of_int k /. float_of_int (lags + 1))) in
+  re.(0) <- r.(0);
+  for k = 1 to lags do
+    let v = r.(k) *. taper k in
+    re.(k) <- v;
+    re.(n - k) <- v
+  done;
+  Linalg.Fft.transform ~re ~im;
+  Array.init ((n / 2) + 1) (fun k -> (float_of_int k /. float_of_int n, re.(k)))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>recovered-clock jitter:@,\
+     \  static offset   : %+.5f UI@,\
+     \  rms             : %.5f UI@,\
+     \  peak-to-peak    : %.5f UI@,\
+     \  correlation time: %g bit intervals@]"
+    t.mean_ui t.rms_ui t.peak_to_peak_ui t.correlation_time

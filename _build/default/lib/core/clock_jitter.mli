@@ -1,0 +1,34 @@
+(** Recovered-clock jitter statistics.
+
+    Systems specifications constrain not only the BER but also the jitter of
+    the recovered clock — in this model the selected clock phase is off the
+    data eye center by exactly the phase error, so recovered-clock jitter
+    statistics are statistics of the stationary [Phi] process: rms and
+    peak-to-peak values from the marginal, and the jitter spectrum's shape
+    through the autocorrelation of [Phi] (computable once the stationary
+    vector is known, as the paper notes). *)
+
+type t = {
+  mean_ui : float; (* static phase offset of the loop *)
+  rms_ui : float; (* rms jitter about the mean, in unit intervals *)
+  peak_to_peak_ui : float; (* support width of the stationary density *)
+  autocorrelation : float array; (* normalized, lags 0 .. requested *)
+  correlation_time : float;
+      (* smallest lag where the autocorrelation falls below 1/e; +inf if it
+         never does within the computed window *)
+}
+
+val analyze : ?lags:int -> Model.t -> pi:Linalg.Vec.t -> t
+(** Default [lags = 64]. The phase is unwrapped to the representative in
+    [[-1/2, 1/2)] (no slip correction: at realistic slip rates the wrapped
+    and unwrapped moments agree to far beyond double precision). *)
+
+val spectrum : ?lags:int -> Model.t -> pi:Linalg.Vec.t -> (float * float) array
+(** One-sided jitter power spectral density by the Wiener-Khinchin theorem:
+    the DFT of the stationary phase-error autocovariance (computed to [lags],
+    default 256, then symmetrically extended and Hann-windowed against
+    truncation leakage). Returns [(frequency, psd)] pairs with frequency in
+    cycles per bit interval, [0 .. 1/2]; the psd integrates (over [-1/2,1/2],
+    i.e. twice the one-sided sum x bin width) back to the phase variance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+type t = {
+  grid_points : int;
+  n_phases : int;
+  counter_length : int;
+  sigma_w : float;
+  detector_dead_zone : int;
+  nw_max_atoms : int;
+  nr : Prob.Pmf.t;
+  p01 : float;
+  p10 : float;
+  max_run : int;
+}
+
+let default =
+  {
+    grid_points = 128;
+    n_phases = 16;
+    counter_length = 8;
+    sigma_w = 0.06;
+    detector_dead_zone = 0;
+    nw_max_atoms = 65;
+    (* a bounded, non-zero-mean, non-Gaussian drift: mostly no movement, a
+       thin positive tail out to 2 bins, mean 0.05 bins per bit — tuned so
+       the counter-length bathtub of Figure 5 has its optimum at K = 8 *)
+    nr = Prob.Jitter.drift ~max_steps:2 ~mean_steps:0.05 ();
+    p01 = 0.5;
+    p10 = 0.5;
+    max_run = 8;
+  }
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () = check (t.grid_points > 0 && t.grid_points mod 2 = 0) "grid_points must be positive and even" in
+  let* () = check (t.n_phases > 0) "n_phases must be positive" in
+  let* () =
+    check (t.grid_points mod t.n_phases = 0)
+      "grid_points must be a multiple of n_phases (the selector step must be a whole number of bins)"
+  in
+  let* () = check (t.counter_length >= 1) "counter_length must be >= 1" in
+  let* () = check (t.sigma_w >= 0.0 && Float.is_finite t.sigma_w) "sigma_w must be finite and >= 0" in
+  let* () =
+    check
+      (t.detector_dead_zone >= 0 && t.detector_dead_zone < t.grid_points / 2)
+      "detector_dead_zone must lie in [0, grid_points/2)"
+  in
+  let* () = check (t.nw_max_atoms >= 3) "nw_max_atoms must be >= 3" in
+  let* () = check (t.p01 > 0.0 && t.p01 <= 1.0) "p01 must lie in (0, 1]" in
+  let* () = check (t.p10 > 0.0 && t.p10 <= 1.0) "p10 must lie in (0, 1]" in
+  let* () = check (t.max_run >= 1) "max_run must be >= 1" in
+  let half = t.grid_points / 2 in
+  let* () =
+    check
+      (Prob.Pmf.max_support t.nr < half && Prob.Pmf.min_support t.nr > -half)
+      "nr support must stay within half a bit interval"
+  in
+  Ok ()
+
+let create_exn t =
+  match validate t with Ok () -> t | Error msg -> invalid_arg ("Config: " ^ msg)
+
+let delta t = 1.0 /. float_of_int t.grid_points
+
+let g_steps t = t.grid_points / t.n_phases
+
+let phase_of_bin t i =
+  if i < 0 || i >= t.grid_points then invalid_arg "Config.phase_of_bin: bin out of range";
+  float_of_int (i - (t.grid_points / 2)) *. delta t
+
+let bin_of_phase t phi =
+  if phi < -0.5 || phi >= 0.5 then invalid_arg "Config.bin_of_phase: phase outside [-1/2, 1/2)";
+  let i = int_of_float (Float.round (phi /. delta t)) + (t.grid_points / 2) in
+  max 0 (min (t.grid_points - 1) i)
+
+let nw_pmf t =
+  if t.sigma_w = 0.0 then (Prob.Pmf.point 0, 1)
+  else begin
+    let n_sigmas = 6.0 in
+    (* choose the lattice scale so that 2 * ceil(n_sigmas*sigma/step) + 1 <=
+       nw_max_atoms, i.e. step >= 2*n_sigmas*sigma/(nw_max_atoms - 1) *)
+    let d = delta t in
+    let max_half = (t.nw_max_atoms - 1) / 2 in
+    let scale =
+      max 1 (int_of_float (ceil (n_sigmas *. t.sigma_w /. (float_of_int max_half *. d))))
+    in
+    let step = float_of_int scale *. d in
+    (Prob.Gaussian.discretize ~sigma:t.sigma_w ~step ~n_sigmas (), scale)
+  end
+
+let max_nr t =
+  let lo = abs (Prob.Pmf.min_support t.nr) and hi = abs (Prob.Pmf.max_support t.nr) in
+  float_of_int (max lo hi) *. delta t
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>grid_points=%d (delta=%.5f UI)@,n_phases=%d (G=%.5f UI)@,counter_length=%d@,\
+     sigma_w=%.5g UI@,max_nr=%.5g UI (mean %.5g bins)@,p01=%.3g p10=%.3g max_run=%d@]"
+    t.grid_points (delta t) t.n_phases
+    (1.0 /. float_of_int t.n_phases)
+    t.counter_length t.sigma_w (max_nr t) (Prob.Pmf.mean t.nr) t.p01 t.p10 t.max_run

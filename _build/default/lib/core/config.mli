@@ -1,0 +1,67 @@
+(** Parameters of the digital phase-selection loop under analysis.
+
+    Units: one bit interval (unit interval, UI) is [1.0]. The phase error
+    [Phi] lives on a wrapped uniform grid of [grid_points] bins covering
+    [[-1/2, 1/2)]; bin [i] represents the phase [(i - grid_points/2) * delta]
+    with [delta = 1 / grid_points]. *)
+
+type t = {
+  grid_points : int;  (** [m]: phase-error bins; must be even and positive. *)
+  n_phases : int;
+      (** multi-phase VCO outputs; the selector step is [G = 1/n_phases] UI
+          and must be a whole number of grid bins ([grid_points mod n_phases
+          = 0]). *)
+  counter_length : int;  (** [K]: up/down counter overflow threshold, [>= 1]. *)
+  sigma_w : float;
+      (** std of the zero-mean white Gaussian eye-opening jitter [n_w], UI. *)
+  detector_dead_zone : int;
+      (** phase-detector dead zone in grid bins: [|Phi + n_w|] at or below
+          this threshold yields no correction. [0] is the pure sign detector
+          of the paper; a positive value models ternary detectors that trade
+          dither for drift sensitivity (an "alternative circuit technique"
+          in the paper's motivation). *)
+  nw_max_atoms : int;
+      (** cap on the number of atoms used when [n_w] is discretized for the
+          FSM composition (the BER tail itself is computed analytically). *)
+  nr : Prob.Pmf.t;
+      (** drift jitter [n_r] pmf; labels are *signed grid-bin offsets*. *)
+  p01 : float;  (** data bit transition probability 0 -> 1. *)
+  p10 : float;  (** data bit transition probability 1 -> 0. *)
+  max_run : int;
+      (** longest bit sequence with no transitions (a transition is forced
+          after [max_run] identical bits), [>= 1]. *)
+}
+
+val default : t
+(** The running example of the paper's Section "Examples": a 128-bin grid,
+    16-phase VCO, counter length 8, moderate eye-opening jitter and a small
+    positive-mean SONET-flavoured drift. *)
+
+val validate : t -> (unit, string) result
+
+val create_exn : t -> t
+(** [validate] and return, raising [Invalid_argument] on failure. *)
+
+val delta : t -> float
+(** Grid step in UI. *)
+
+val g_steps : t -> int
+(** Phase-selector step in grid bins ([grid_points / n_phases]). *)
+
+val phase_of_bin : t -> int -> float
+(** Phase value (UI) represented by a grid bin. *)
+
+val bin_of_phase : t -> float -> int
+(** Nearest grid bin of a phase in [[-1/2, 1/2)]; raises [Invalid_argument]
+    outside that interval. *)
+
+val nw_pmf : t -> Prob.Pmf.t * int
+(** Discretized [n_w] as [(pmf, scale)]: labels are offsets in units of
+    [scale * delta], the lattice chosen so the support has at most
+    [nw_max_atoms] atoms. *)
+
+val max_nr : t -> float
+(** Largest |amplitude| of [n_r] in UI (the "MAXnr" of the paper's figure
+    annotations). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type command = Hold | Advance | Retard
+
+let command_to_int = function Hold -> 0 | Advance -> 1 | Retard -> 2
+
+let command_of_int = function
+  | 0 -> Hold
+  | 1 -> Advance
+  | 2 -> Retard
+  | n -> invalid_arg (Printf.sprintf "Counter.command_of_int: %d" n)
+
+let n_commands = 3
+
+let n_states cfg = (2 * cfg.Config.counter_length) - 1
+
+let encode cfg v =
+  let k = cfg.Config.counter_length in
+  if v <= -k || v >= k then invalid_arg "Counter.encode: count out of range";
+  v + k - 1
+
+let decode cfg code =
+  let k = cfg.Config.counter_length in
+  if code < 0 || code >= n_states cfg then invalid_arg "Counter.decode: out of range";
+  code - k + 1
+
+let component cfg =
+  let k = cfg.Config.counter_length in
+  let step code inputs =
+    let v = decode cfg code in
+    match Phase_detector.output_of_int inputs.(0) with
+    | Phase_detector.Null -> (code, command_to_int Hold)
+    | Phase_detector.Lead ->
+        if v + 1 >= k then (encode cfg 0, command_to_int Retard)
+        else (encode cfg (v + 1), command_to_int Hold)
+    | Phase_detector.Lag ->
+        if v - 1 <= -k then (encode cfg 0, command_to_int Advance)
+        else (encode cfg (v - 1), command_to_int Hold)
+  in
+  Fsm.Component.create ~name:"counter" ~n_states:(n_states cfg)
+    ~input_cards:[| Phase_detector.n_outputs |] ~n_outputs:n_commands ~step
+    ~state_name:(fun code -> string_of_int (decode cfg code))
+    ~output_name:(fun o ->
+      match command_of_int o with Hold -> "HOLD" | Advance -> "ADVANCE" | Retard -> "RETARD")
+    ()

@@ -1,0 +1,57 @@
+type state = { bit : int; run : int }
+
+let n_states cfg = 2 * cfg.Config.max_run
+
+let encode cfg { bit; run } =
+  if bit < 0 || bit > 1 then invalid_arg "Data_source.encode: bit must be 0 or 1";
+  if run < 1 || run > cfg.Config.max_run then invalid_arg "Data_source.encode: run out of range";
+  (bit * cfg.Config.max_run) + (run - 1)
+
+let decode cfg code =
+  if code < 0 || code >= n_states cfg then invalid_arg "Data_source.decode: out of range";
+  { bit = code / cfg.Config.max_run; run = (code mod cfg.Config.max_run) + 1 }
+
+let output_transition = 1
+
+let component cfg =
+  let max_run = cfg.Config.max_run in
+  let step code inputs =
+    let { bit; run } = decode cfg code in
+    let coin = if bit = 0 then inputs.(0) else inputs.(1) in
+    let flip = run >= max_run || coin = 1 in
+    if flip then (encode cfg { bit = 1 - bit; run = 1 }, output_transition)
+    else (encode cfg { bit; run = min max_run (run + 1) }, 0)
+  in
+  Fsm.Component.create ~name:"data" ~n_states:(n_states cfg) ~input_cards:[| 2; 2 |] ~n_outputs:2
+    ~step
+    ~state_name:(fun code ->
+      let { bit; run } = decode cfg code in
+      Printf.sprintf "bit=%d run=%d" bit run)
+    ~output_name:(fun o -> if o = output_transition then "TRANSITION" else "HOLD")
+    ()
+
+let coin_sources cfg =
+  ( { Fsm.Network.source_name = "coin01"; pmf = Prob.Pmf.bernoulli ~p:cfg.Config.p01 1 0 },
+    { Fsm.Network.source_name = "coin10"; pmf = Prob.Pmf.bernoulli ~p:cfg.Config.p10 1 0 } )
+
+let transition_probability cfg =
+  (* exact stationary analysis of the standalone data chain *)
+  let comp = component cfg in
+  let c01, c10 = coin_sources cfg in
+  let network =
+    Fsm.Network.create ~sources:[| c01; c10 |] ~components:[| comp |]
+      ~wiring:[| [| Fsm.Network.From_source 0; Fsm.Network.From_source 1 |] |]
+  in
+  let built = Fsm.Network.build_chain network ~initial:[| encode cfg { bit = 0; run = 1 } |] in
+  let pi = Markov.Gth.solve built.Fsm.Network.chain in
+  (* transition probability = sum over states of pi(s) * P(flip | s) *)
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun idx s ->
+      let { bit; run } = decode cfg s.(0) in
+      let p_flip =
+        if run >= cfg.Config.max_run then 1.0 else if bit = 0 then cfg.Config.p01 else cfg.Config.p10
+      in
+      acc := !acc +. (pi.(idx) *. p_flip))
+    built.Fsm.Network.states;
+  !acc

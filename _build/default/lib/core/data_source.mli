@@ -1,0 +1,31 @@
+(** Incoming-data statistics FSM.
+
+    State: the current bit together with its run length (number of
+    consecutive identical bits so far, capped at [max_run]). Per bit interval
+    the machine flips with probability [p01] (when at 0) or [p10] (when at 1),
+    with a transition *forced* once the run reaches [max_run] — the "longest
+    possible bit sequence with no transitions" of the input-data
+    specification. Output: whether a transition occurs in this interval,
+    which is what gates the phase detector. *)
+
+type state = { bit : int; run : int (* 1 .. max_run *) }
+
+val n_states : Config.t -> int
+
+val encode : Config.t -> state -> int
+
+val decode : Config.t -> int -> state
+
+val output_transition : int
+(** Output symbol for "a transition occurred" ([1]; [0] = none). *)
+
+val component : Config.t -> Fsm.Component.t
+(** Two Bernoulli coin inputs (port 0: the 0->1 coin, port 1: the 1->0 coin;
+    symbol [1] = flip). *)
+
+val coin_sources : Config.t -> Fsm.Network.source * Fsm.Network.source
+
+val transition_probability : Config.t -> float
+(** Stationary probability that a bit interval contains a transition, from
+    the exact stationary distribution of this small chain (needed by
+    back-of-envelope loop-bandwidth estimates in the examples). *)

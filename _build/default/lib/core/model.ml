@@ -1,0 +1,258 @@
+type t = {
+  config : Config.t;
+  chain : Markov.Chain.t;
+  n_states : int;
+  data_code : int -> int;
+  counter_code : int -> int;
+  phase_bin : int -> int;
+  index_of : data:int -> counter:int -> phase:int -> int option;
+  build_seconds : float;
+}
+
+let initial_state cfg =
+  ( Data_source.encode cfg { Data_source.bit = 0; run = 1 },
+    Counter.encode cfg 0,
+    (* phase bin representing 0 phase error *)
+    cfg.Config.grid_points / 2 )
+
+let network cfg =
+  let cfg = Config.create_exn cfg in
+  let data = Data_source.component cfg in
+  let pd = Phase_detector.component cfg in
+  let counter = Counter.component cfg in
+  let phase = Phase_error.component cfg in
+  let coin01, coin10 = Data_source.coin_sources cfg in
+  let nw, _, _ = Phase_detector.nw_source cfg in
+  let nr, _ = Phase_error.nr_source cfg in
+  let open Fsm.Network in
+  (* component order: data(0), pd(1), counter(2), phase(3); pd reads the
+     phase through registered feedback *)
+  let net =
+    create
+      ~sources:[| coin01; coin10; nw; nr |]
+      ~components:[| data; pd; counter; phase |]
+      ~wiring:
+        [|
+          [| From_source 0; From_source 1 |];
+          [| From_component 0; From_source 2; From_state 3 |];
+          [| From_component 1 |];
+          [| From_component 2; From_source 3 |];
+        |]
+  in
+  let d0, c0, p0 = initial_state cfg in
+  (net, [| d0; 0; c0; p0 |])
+
+let of_indexed ~config ~chain ~states ~build_seconds =
+  (* [states] maps chain index -> (data, counter, phase) *)
+  let n = Array.length states in
+  let table = Hashtbl.create (2 * n) in
+  Array.iteri (fun i key -> Hashtbl.replace table key i) states;
+  {
+    config;
+    chain;
+    n_states = n;
+    data_code = (fun i -> let d, _, _ = states.(i) in d);
+    counter_code = (fun i -> let _, c, _ = states.(i) in c);
+    phase_bin = (fun i -> let _, _, p = states.(i) in p);
+    index_of = (fun ~data ~counter ~phase -> Hashtbl.find_opt table (data, counter, phase));
+    build_seconds;
+  }
+
+let build_via_network cfg =
+  let cfg = Config.create_exn cfg in
+  let start = Unix.gettimeofday () in
+  let net, initial = network cfg in
+  let built = Fsm.Network.build_chain net ~initial in
+  let states =
+    Array.map (fun s -> (s.(0), s.(2), s.(3))) built.Fsm.Network.states
+  in
+  of_indexed ~config:cfg ~chain:built.Fsm.Network.chain ~states
+    ~build_seconds:(Unix.gettimeofday () -. start)
+
+(* Direct compositional construction: the same chain, with each noise source
+   marginalized where it acts. Successor enumeration per state is
+   O(data outcomes * detector outcomes * |n_r| support). *)
+let build_direct cfg =
+  let cfg = Config.create_exn cfg in
+  let start = Unix.gettimeofday () in
+  let m = cfg.Config.grid_points in
+  let n_data = Data_source.n_states cfg in
+  let n_counter = Counter.n_states cfg in
+  (* data outcomes per data state: (prob, next data, transition?) via the
+     component's own step function on the four coin combinations *)
+  let data_comp = Data_source.component cfg in
+  let data_outcomes =
+    Array.init n_data (fun d ->
+        let acc = Hashtbl.create 4 in
+        List.iter
+          (fun (c01, c10, p) ->
+            if p > 0.0 then begin
+              let d', out = data_comp.Fsm.Component.step d [| c01; c10 |] in
+              let t = out = Data_source.output_transition in
+              let key = (d', t) in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc key) in
+              Hashtbl.replace acc key (prev +. p)
+            end)
+          (let p01 = cfg.Config.p01 and p10 = cfg.Config.p10 in
+           [
+             (1, 1, p01 *. p10);
+             (1, 0, p01 *. (1.0 -. p10));
+             (0, 1, (1.0 -. p01) *. p10);
+             (0, 0, (1.0 -. p01) *. (1.0 -. p10));
+           ]);
+        Hashtbl.fold (fun (d', t) p l -> (p, d', t) :: l) acc [])
+  in
+  (* phase-detector decision probabilities per phase bin, from the same
+     discretized n_w the network path uses *)
+  let nw, scale = Config.nw_pmf cfg in
+  let dead_zone = cfg.Config.detector_dead_zone in
+  let pd_probs =
+    Array.init m (fun bin ->
+        let phase_bins = bin - (m / 2) in
+        let lead = ref 0.0 and lag = ref 0.0 and null = ref 0.0 in
+        Prob.Pmf.iter nw (fun k w ->
+            let s = phase_bins + (k * scale) in
+            if s > dead_zone then lead := !lead +. w
+            else if s < -dead_zone then lag := !lag +. w
+            else null := !null +. w);
+        (!lead, !null, !lag))
+  in
+  (* counter transitions per (state, detector output) *)
+  let counter_comp = Counter.component cfg in
+  let counter_table =
+    Array.init n_counter (fun c ->
+        Array.init Phase_detector.n_outputs (fun o ->
+            let c', cmd = counter_comp.Fsm.Component.step c [| o |] in
+            (c', Counter.command_of_int cmd)))
+  in
+  let nr_atoms =
+    Prob.Pmf.fold cfg.Config.nr ~init:[] ~f:(fun acc k w -> (k, w) :: acc)
+  in
+  (* BFS over reachable (data, counter, phase) states *)
+  let index = Hashtbl.create 4096 in
+  let order = ref [] in
+  let count = ref 0 in
+  let register key =
+    match Hashtbl.find_opt index key with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        Hashtbl.add index key i;
+        order := key :: !order;
+        incr count;
+        i
+  in
+  let d0, c0, p0 = initial_state cfg in
+  let start_key = (d0, c0, p0) in
+  ignore (register start_key);
+  let queue = Queue.create () in
+  Queue.add start_key queue;
+  let rows = ref [] in
+  while not (Queue.is_empty queue) do
+    let ((d, c, phase) as key) = Queue.pop queue in
+    let row = register key in
+    let row_acc = Hashtbl.create 32 in
+    let add key' p =
+      let fresh = not (Hashtbl.mem index key') in
+      let col = register key' in
+      if fresh then Queue.add key' queue;
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt row_acc col) in
+      Hashtbl.replace row_acc col (prev +. p)
+    in
+    let p_lead, p_null_tie, p_lag = pd_probs.(phase) in
+    List.iter
+      (fun (p_data, d', t) ->
+        let detector_outcomes =
+          if t then
+            [
+              (p_lead, Phase_detector.Lead);
+              (p_null_tie, Phase_detector.Null);
+              (p_lag, Phase_detector.Lag);
+            ]
+          else [ (1.0, Phase_detector.Null) ]
+        in
+        List.iter
+          (fun (p_pd, o) ->
+            if p_pd > 0.0 then begin
+              let c', cmd = counter_table.(c).(Phase_detector.output_to_int o) in
+              List.iter
+                (fun (r, p_r) ->
+                  let phase' = Phase_error.next_bin cfg ~bin:phase ~command:cmd ~nr_bins:r in
+                  add (d', c', phase') (p_data *. p_pd *. p_r))
+                nr_atoms
+            end)
+          detector_outcomes)
+      data_outcomes.(d);
+    rows := (row, Hashtbl.fold (fun col p acc -> (col, p) :: acc) row_acc []) :: !rows
+  done;
+  let n = !count in
+  let acc = Sparse.Coo.create ~rows:n ~cols:n in
+  List.iter
+    (fun (row, entries) -> List.iter (fun (col, p) -> Sparse.Coo.add acc ~row ~col p) entries)
+    !rows;
+  let chain = Markov.Chain.of_csr ~tol:1e-9 (Sparse.Coo.to_csr acc) in
+  let states = Array.of_list (List.rev !order) in
+  of_indexed ~config:cfg ~chain ~states ~build_seconds:(Unix.gettimeofday () -. start)
+
+let build ?(via = `Direct) cfg =
+  match via with `Direct -> build_direct cfg | `Network -> build_via_network cfg
+
+let phase_marginal t ~pi =
+  Markov.Stat.marginal ~pi ~label:t.phase_bin ~n_labels:t.config.Config.grid_points
+
+let hierarchy t =
+  (* keys of the current level; level 0 = chain states. Coarsening lumps
+     pairs of consecutive phase bins (the paper's strategy); once the phase
+     grid cannot be halved any further but the level is still too large for a
+     direct solve, counter pairs are lumped as well (the counter is the other
+     slow coordinate on long-filter designs). *)
+  let keys = Array.init t.n_states (fun i -> (t.data_code i, t.counter_code i, t.phase_bin i)) in
+  let rec go keys acc =
+    let n = Array.length keys in
+    let max_phase = Array.fold_left (fun m (_, _, p) -> max m p) 0 keys in
+    let max_counter = Array.fold_left (fun m (_, c, _) -> max m c) 0 keys in
+    if n <= Markov.Gth.max_direct_size || (max_phase < 1 && max_counter < 1) then List.rev acc
+    else begin
+      let coarse_key =
+        if max_phase >= 1 then fun (d, c, p) -> (d, c, p / 2) else fun (d, c, p) -> (d, c / 2, p)
+      in
+      let table = Hashtbl.create (2 * n) in
+      let coarse_keys = ref [] in
+      let next = ref 0 in
+      let map =
+        Array.map
+          (fun key0 ->
+            let key = coarse_key key0 in
+            match Hashtbl.find_opt table key with
+            | Some b -> b
+            | None ->
+                let b = !next in
+                Hashtbl.add table key b;
+                coarse_keys := key :: !coarse_keys;
+                incr next;
+                b)
+          keys
+      in
+      let partition = Markov.Partition.create map in
+      go (Array.of_list (List.rev !coarse_keys)) (partition :: acc)
+    end
+  in
+  go keys []
+
+let solve ?(solver = `Multigrid) ?(tol = 1e-12) t =
+  match solver with
+  | `Multigrid ->
+      let solution, _stats = Markov.Multigrid.solve ~tol ~hierarchy:(hierarchy t) t.chain in
+      solution
+  | `Power -> Markov.Power.solve ~tol t.chain
+  | `Gauss_seidel -> Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol t.chain
+  | `Jacobi -> Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol t.chain
+  | `Sor omega -> Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol t.chain
+  | `Arnoldi -> Markov.Arnoldi.solve ~tol t.chain
+  | `Aggregation ->
+      let partition =
+        match hierarchy t with
+        | first :: _ -> first
+        | [] -> Markov.Partition.identity t.n_states
+      in
+      Markov.Aggregation.solve ~tol ~partition t.chain

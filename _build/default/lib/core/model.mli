@@ -1,0 +1,58 @@
+(** The composed CDR Markov chain (the paper's Figure 2 model).
+
+    Global state = (data-source state, counter state, phase-error bin). Two
+    construction paths are provided:
+
+    - {!build_via_network} goes through the generic {!Fsm.Network}
+      composition — the paper's formalism, literally: four interacting FSMs
+      with stochastic inputs, joint noise enumeration, reachability BFS;
+    - {!build_direct} produces the same chain by analytically marginalizing
+      each noise source where it acts (coins into the data machine, [n_w]
+      into phase-detector decision probabilities, [n_r] into phase moves).
+      It is orders of magnitude faster and is the default for large grids.
+
+    Property tests assert both paths agree transition-by-transition. *)
+
+type t = {
+  config : Config.t;
+  chain : Markov.Chain.t;
+  n_states : int;
+  data_code : int -> int; (* chain index -> component codes *)
+  counter_code : int -> int;
+  phase_bin : int -> int;
+  index_of : data:int -> counter:int -> phase:int -> int option;
+  build_seconds : float;
+}
+
+val initial_state : Config.t -> int * int * int
+(** Canonical start: data (bit 0, run 1), counter 0, phase bin 0 (phase
+    [-1/2])... actually phase centered at 0; see implementation. *)
+
+val build_via_network : Config.t -> t
+
+val build_direct : Config.t -> t
+
+val build : ?via:[ `Network | `Direct ] -> Config.t -> t
+(** Default [`Direct]. *)
+
+val phase_marginal : t -> pi:Linalg.Vec.t -> Linalg.Vec.t
+(** Stationary marginal over phase bins (the density the paper plots). *)
+
+val hierarchy : t -> Markov.Partition.t list
+(** Structured multigrid coarsening: each level lumps pairs of consecutive
+    phase bins while keeping the FSM coordinates — the paper's coarsening
+    strategy. Halving stops once the level fits {!Markov.Gth.max_direct_size}
+    or the phase grid cannot be halved further. *)
+
+val solve :
+  ?solver:
+    [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->
+  ?tol:float ->
+  t ->
+  Markov.Solution.t
+(** Stationary distribution; default [`Multigrid] with the structured
+    {!hierarchy} (and tolerance [1e-12]). *)
+
+val network : Config.t -> Fsm.Network.t * int array
+(** The underlying FSM network and its initial state vector (exposed for
+    inspection, simulation, and the Figure-2 style summary dump). *)

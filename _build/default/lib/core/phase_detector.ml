@@ -1,0 +1,50 @@
+type output = Null | Lead | Lag
+
+let output_to_int = function Null -> 0 | Lead -> 1 | Lag -> 2
+
+let output_of_int = function
+  | 0 -> Null
+  | 1 -> Lead
+  | 2 -> Lag
+  | n -> invalid_arg (Printf.sprintf "Phase_detector.output_of_int: %d" n)
+
+let n_outputs = 3
+
+let decide ?(dead_zone = 0) ~phase_bins ~nw_bins transition =
+  if not transition then Null
+  else
+    let s = phase_bins + nw_bins in
+    if s > dead_zone then Lead else if s < -dead_zone then Lag else Null
+
+let nw_source cfg =
+  let pmf, scale = Config.nw_pmf cfg in
+  let shift = -Prob.Pmf.min_support pmf in
+  let shifted = Prob.Pmf.map_labels (fun k -> k + shift) pmf in
+  ({ Fsm.Network.source_name = "n_w"; pmf = shifted }, shift, scale)
+
+let component cfg =
+  let m = cfg.Config.grid_points in
+  let _, shift, scale = nw_source cfg in
+  let nw_card = shift + 1 + shift in
+  (* symbols 0 .. 2*shift; symmetric support of the discretized Gaussian *)
+  let half = m / 2 in
+  let dead_zone = cfg.Config.detector_dead_zone in
+  let step _state inputs =
+    let transition = inputs.(0) = Data_source.output_transition in
+    let nw_bins = (inputs.(1) - shift) * scale in
+    let phase_bins = inputs.(2) - half in
+    (0, output_to_int (decide ~dead_zone ~phase_bins ~nw_bins transition))
+  in
+  Fsm.Component.create ~name:"phase-detector" ~n_states:1 ~input_cards:[| 2; max 1 nw_card; m |]
+    ~n_outputs ~step
+    ~output_name:(fun o -> match output_of_int o with Null -> "NULL" | Lead -> "LEAD" | Lag -> "LAG")
+    ()
+
+let lead_probability cfg ~phase_bin =
+  let m = cfg.Config.grid_points in
+  if phase_bin < 0 || phase_bin >= m then invalid_arg "Phase_detector.lead_probability: bin";
+  let pmf, scale = Config.nw_pmf cfg in
+  let phase_bins = phase_bin - (m / 2) in
+  let dead_zone = cfg.Config.detector_dead_zone in
+  Prob.Pmf.fold pmf ~init:0.0 ~f:(fun acc k w ->
+      if phase_bins + (k * scale) > dead_zone then acc +. w else acc)

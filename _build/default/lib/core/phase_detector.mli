@@ -1,0 +1,37 @@
+(** Bang-bang (sign) phase detector.
+
+    The memoryless nonlinearity of the paper's equation (1): when the data
+    has a transition, output the sign of [Phi + n_w]; with no transition the
+    detector cannot observe phase and outputs NULL. The detector is
+    implemented at full data rate, hence the trivial one-state machine. *)
+
+type output = Null | Lead | Lag
+
+val output_to_int : output -> int
+
+val output_of_int : int -> output
+
+val n_outputs : int
+
+val decide : ?dead_zone:int -> phase_bins:int -> nw_bins:int -> bool -> output
+(** [decide ~phase_bins ~nw_bins transition]: [phase_bins] is the phase
+    error and [nw_bins] the jitter sample, both as signed counts of the
+    *same* lattice unit; returns [Lead] when their sum exceeds [dead_zone]
+    (default [0]), [Lag] when below [-dead_zone], and [Null] inside the dead
+    zone (which for the default is just the sign function's zero) or when no
+    transition occurred. *)
+
+val component : Config.t -> Fsm.Component.t
+(** Ports: 0 = transition flag (card 2), 1 = shifted [n_w] symbol, 2 = the
+    phase-error component's current state (registered feedback, card
+    [grid_points]). *)
+
+val nw_source : Config.t -> Fsm.Network.source * int * int
+(** [(source, shift, scale)]: the discretized [n_w] with labels shifted by
+    [+shift] into [0 ..] for the network symbol space; physical offset of
+    symbol [s] is [(s - shift) * scale * delta]. *)
+
+val lead_probability : Config.t -> phase_bin:int -> float
+(** [P(Phi + n_w > 0)] for a given phase bin under the *discretized* [n_w] —
+    the exact quantity the composed chain uses; tests compare it against the
+    analytic Gaussian value. *)

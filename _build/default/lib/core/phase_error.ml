@@ -1,0 +1,37 @@
+let n_states cfg = cfg.Config.grid_points
+
+let wrap cfg i =
+  let m = cfg.Config.grid_points in
+  ((i mod m) + m) mod m
+
+let next_bin cfg ~bin ~command ~nr_bins =
+  let g = Config.g_steps cfg in
+  let correction =
+    match command with Counter.Hold -> 0 | Counter.Advance -> g | Counter.Retard -> -g
+  in
+  wrap cfg (bin + correction + nr_bins)
+
+let crosses_boundary cfg ~src ~dst =
+  let m = cfg.Config.grid_points in
+  abs (dst - src) > m / 2
+
+let nr_source cfg =
+  let nr = cfg.Config.nr in
+  let shift = -Prob.Pmf.min_support nr in
+  let shifted = Prob.Pmf.map_labels (fun k -> k + shift) nr in
+  ({ Fsm.Network.source_name = "n_r"; pmf = shifted }, shift)
+
+let component cfg =
+  let m = cfg.Config.grid_points in
+  let _, shift = nr_source cfg in
+  let nr_card = Prob.Pmf.max_support cfg.Config.nr + shift + 1 in
+  let step bin inputs =
+    let command = Counter.command_of_int inputs.(0) in
+    let nr_bins = inputs.(1) - shift in
+    (next_bin cfg ~bin ~command ~nr_bins, 0)
+  in
+  Fsm.Component.create ~name:"phase-error" ~n_states:m
+    ~input_cards:[| Counter.n_commands; max 1 nr_card |]
+    ~n_outputs:1 ~step
+    ~state_name:(fun bin -> Printf.sprintf "%.4f" (Config.phase_of_bin cfg bin))
+    ()

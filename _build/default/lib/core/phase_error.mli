@@ -1,0 +1,25 @@
+(** Phase-error state on the wrapped grid.
+
+    Realizes the paper's difference equation
+    [Phi_{k+1} = Phi_k - f(.) + n_r(k)] on the discretized circle: ADVANCE
+    moves the selected clock phase earlier (phase error increases by [G]),
+    RETARD moves it later (decreases by [G]), and the drift [n_r] adds its
+    sampled bin offset. Wrap-around across [+-1/2] is a cycle slip. *)
+
+val n_states : Config.t -> int
+
+val wrap : Config.t -> int -> int
+(** Wrap an arbitrary (possibly negative) bin index onto [0, grid_points). *)
+
+val next_bin : Config.t -> bin:int -> command:Counter.command -> nr_bins:int -> int
+
+val crosses_boundary : Config.t -> src:int -> dst:int -> bool
+(** Whether the one-step move [src -> dst] wrapped around the circle
+    (assumes single-step moves are shorter than half the grid, which
+    {!Config.validate} plus the [G <= 1/2] geometry guarantee). *)
+
+val component : Config.t -> Fsm.Component.t
+(** Port 0: the counter command (card 3); port 1: shifted [n_r] symbol. *)
+
+val nr_source : Config.t -> Fsm.Network.source * int
+(** [(source, shift)]: [n_r] with labels shifted by [+shift] into [0..]. *)

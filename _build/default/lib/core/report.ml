@@ -1,0 +1,112 @@
+type t = {
+  config : Config.t;
+  ber : float;
+  size : int;
+  iterations : int;
+  matrix_form_seconds : float;
+  solve_seconds : float;
+  phase_density : Linalg.Vec.t;
+  eye_density : (float * float) array;
+}
+
+let run ?(solver = `Multigrid) cfg =
+  let model = Model.build cfg in
+  let t0 = Unix.gettimeofday () in
+  let result, solution = Ber.analyze ~solver model in
+  let solve_seconds = Unix.gettimeofday () -. t0 in
+  {
+    config = cfg;
+    ber = result.Ber.ber;
+    size = model.Model.n_states;
+    iterations = solution.Markov.Solution.iterations;
+    matrix_form_seconds = model.Model.build_seconds;
+    solve_seconds;
+    phase_density = result.Ber.phase_density;
+    eye_density = result.Ber.eye_density;
+  }
+
+let header_line t =
+  Printf.sprintf "COUNTER: %d  STDnw: %.1e  MAXnr: %.1e  BER: %.1e" t.config.Config.counter_length
+    t.config.Config.sigma_w (Config.max_nr t.config) t.ber
+
+let footer_line t =
+  Printf.sprintf "Size: %d  Iter: %d  Matrixformtime: %.2f mins  Solvetime: %.2f mins" t.size
+    t.iterations
+    (t.matrix_form_seconds /. 60.0)
+    (t.solve_seconds /. 60.0)
+
+let density_table ?(max_rows = 33) t =
+  let m = Array.length t.phase_density in
+  let stride = max 1 (m / max_rows) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "    phase     rho(Phi)      rho(Phi+n_w)\n";
+  (* the eye density lives on a different (n_w) lattice; index it by nearest
+     phase *)
+  let eye_at phi =
+    let best = ref 0 in
+    Array.iteri
+      (fun k (x, _) -> if abs_float (x -. phi) < abs_float (fst t.eye_density.(!best) -. phi) then best := k)
+      t.eye_density;
+    snd t.eye_density.(!best)
+  in
+  let i = ref 0 in
+  while !i < m do
+    let phi = Config.phase_of_bin t.config !i in
+    Buffer.add_string buf (Printf.sprintf "  %+8.4f  %12.5e  %12.5e\n" phi t.phase_density.(!i) (eye_at phi));
+    i := !i + stride
+  done;
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "phase,rho_phi,rho_phi_plus_nw\n";
+  (* align the eye density (on the n_w lattice) by nearest phase *)
+  let eye_at phi =
+    let best = ref 0 in
+    Array.iteri
+      (fun k (x, _) ->
+        if abs_float (x -. phi) < abs_float (fst t.eye_density.(!best) -. phi) then best := k)
+      t.eye_density;
+    snd t.eye_density.(!best)
+  in
+  Array.iteri
+    (fun i p ->
+      let phi = Config.phase_of_bin t.config i in
+      Buffer.add_string buf (Printf.sprintf "%.9f,%.9e,%.9e\n" phi p (eye_at phi)))
+    t.phase_density;
+  Buffer.contents buf
+
+let sketch density =
+  let m = Array.length density in
+  let width = 61 in
+  let peak = Array.fold_left Float.max 0.0 density in
+  if peak <= 0.0 then "(empty density)\n"
+  else begin
+    let heights = 12 in
+    let buf = Buffer.create ((heights + 1) * (width + 1)) in
+    let column c =
+      (* max density over the bins mapping to this column *)
+      let lo = c * m / width and hi = max (c * m / width) (((c + 1) * m / width) - 1) in
+      let v = ref 0.0 in
+      for i = lo to min hi (m - 1) do
+        v := Float.max !v density.(i)
+      done;
+      !v
+    in
+    for row = heights downto 1 do
+      let threshold = float_of_int row /. float_of_int heights *. peak in
+      for c = 0 to width - 1 do
+        Buffer.add_char buf (if column c >= threshold then '*' else ' ')
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make (width / 2) '-');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make (width - (width / 2) - 1) '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "-1/2                           0                           +1/2\n";
+    Buffer.contents buf
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "%s@\n%s%s@\n" (header_line t) (sketch t.phase_density) (footer_line t)

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  description : string;
+  config : Config.t;
+  ber_specification : float;
+}
+
+let sonet_multiplexer =
+  {
+    name = "sonet-multiplexer";
+    description =
+      "SONET-type multiplexer link: scrambled data (p = 1/2, run limit 8), 16-phase \
+       selector, counter length 8, nominal eye";
+    config = Config.default;
+    ber_specification = 1e-10;
+  }
+
+let sonet_multiplexer_noisy =
+  {
+    name = "sonet-multiplexer-noisy";
+    description =
+      "the same multiplexer with supply/substrate interference widening the effective \
+       eye-opening jitter 25% - the paper's failing prototype, delivering a BER more than \
+       an order of magnitude below the specification";
+    config = { Config.default with Config.sigma_w = 0.075 };
+    ber_specification = 1e-10;
+  }
+
+let burst_mode_retimer =
+  {
+    name = "burst-mode-retimer";
+    description =
+      "burst-mode data retimer (Sonntag-Leonowich style): long runs (up to 16), asymmetric \
+       transition densities, short counter for fast acquisition";
+    config =
+      Config.create_exn
+        {
+          Config.default with
+          Config.counter_length = 3;
+          max_run = 16;
+          p01 = 0.4;
+          p10 = 0.6;
+          sigma_w = 0.05;
+        };
+    ber_specification = 1e-9;
+  }
+
+let low_jitter_interpolator =
+  {
+    name = "low-jitter-interpolator";
+    description =
+      "fine phase interpolation (Larsson style): 32 selectable phases on a 256-bin grid, \
+       small eye jitter, slow drift";
+    config =
+      Config.create_exn
+        {
+          Config.default with
+          Config.grid_points = 256;
+          n_phases = 32;
+          sigma_w = 0.04;
+          nr = Prob.Jitter.drift ~max_steps:2 ~mean_steps:0.05 ();
+        };
+    ber_specification = 1e-12;
+  }
+
+let all = [ sonet_multiplexer; sonet_multiplexer_noisy; burst_mode_retimer; low_jitter_interpolator ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let meets_specification t =
+  let model = Model.build t.config in
+  let result, _ = Ber.analyze model in
+  (result.Ber.ber <= t.ber_specification, result.Ber.ber)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %s@,BER specification: %.0e@,%a@]" t.name t.description
+    t.ber_specification Config.pp t.config

@@ -1,0 +1,44 @@
+(** Named operating scenarios.
+
+    The paper's running example is a SONET-type multiplexer ("the
+    specification for a multiplexer chip required a BER of [1e-10]"); data
+    characteristics come from SONET system specifications (scrambled data,
+    bounded run lengths, eye-opening and wander masks). These presets bundle
+    representative parameter sets so examples and regression baselines speak
+    the same language. Numbers are representative of the *class* of link,
+    not of any specific product. *)
+
+type t = {
+  name : string;
+  description : string;
+  config : Config.t;
+  ber_specification : float; (* the pass/fail line for this link class *)
+}
+
+val sonet_multiplexer : t
+(** The paper's motivating case: 1e-10 specification, scrambled data,
+    moderate eye closure — the design whose prototype missed the spec "by
+    more than an order of magnitude" due to interference noise. *)
+
+val sonet_multiplexer_noisy : t
+(** The same design with the interference-degraded eye the paper describes
+    (larger effective [n_w]): fails the specification. *)
+
+val burst_mode_retimer : t
+(** Burst-mode data (long runs allowed, asymmetric transition densities, a
+    short counter for fast acquisition) after the Sonntag–Leonowich DPLL
+    use-case of reference [1]. *)
+
+val low_jitter_interpolator : t
+(** Fine phase resolution (32 phases) and small noise, after the Larsson
+    phase-selection/interpolation architecture of reference [2]. *)
+
+val all : t list
+
+val find : string -> t option
+(** Lookup by [name]. *)
+
+val meets_specification : t -> bool * float
+(** Run the analysis: [(passes, ber)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type point = { config : Config.t; report : Report.t }
+
+let counter_lengths ?solver base lengths =
+  List.map
+    (fun k ->
+      let config = Config.create_exn { base with Config.counter_length = k } in
+      { config; report = Report.run ?solver config })
+    lengths
+
+let sigma_w_values ?solver base sigmas =
+  List.map
+    (fun sigma ->
+      let config = Config.create_exn { base with Config.sigma_w = sigma } in
+      { config; report = Report.run ?solver config })
+    sigmas
+
+let optimal_counter ?solver base lengths =
+  match counter_lengths ?solver base lengths with
+  | [] -> invalid_arg "Sweep.optimal_counter: no candidate lengths"
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun acc p -> if p.report.Report.ber < acc.report.Report.ber then p else acc)
+          first rest
+      in
+      (best.config.Config.counter_length, best.report.Report.ber)
+
+let pp_points ppf points =
+  Format.fprintf ppf "@[<v>%-8s %-8s %-12s %-10s %-8s %s@,"
+    "counter" "sigma_w" "BER" "size" "iter" "solve(s)";
+  List.iter
+    (fun { config; report } ->
+      Format.fprintf ppf "%-8d %-8.3g %-12.3e %-10d %-8d %.2f@," config.Config.counter_length
+        config.Config.sigma_w report.Report.ber report.Report.size report.Report.iterations
+        report.Report.solve_seconds)
+    points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,20 @@
+(** Parameter sweeps over the CDR design space — the experiments of the
+    paper's Figures 4 and 5 and the "evaluation of a number of alternative
+    ... architectures ... in a short time" motivation. *)
+
+type point = { config : Config.t; report : Report.t }
+
+val counter_lengths : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> int list -> point list
+(** BER for each counter length, all other parameters fixed (Figure 5). *)
+
+val sigma_w_values : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> float list -> point list
+(** BER for each eye-opening jitter level (Figure 4's two panels as the
+    endpoints of a continuum). *)
+
+val optimal_counter : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> int list -> int * float
+(** The counter length with the lowest BER among the candidates (the design
+    answer the paper derives: an interior optimum where both noise sources
+    contribute). *)
+
+val pp_points : Format.formatter -> point list -> unit
+(** One table row per point: the swept value, BER, state count, iterations. *)

@@ -1,0 +1,36 @@
+(** Jitter tolerance: the largest input jitter the loop absorbs while still
+    meeting a BER target — the receiver characterization that jitter
+    specifications (e.g. the SONET jitter-tolerance mask) are written
+    against.
+
+    For a given jitter-amplitude family (sinusoidal-equivalent or bounded
+    drift), the tolerance is found by bisection on the amplitude, each probe
+    being a full stationary analysis. This is exactly the "evaluation of a
+    number of alternatives in a short time" workflow the paper motivates:
+    every probe replaces weeks of (infeasible) transient simulation. *)
+
+type family =
+  | Sinusoidal  (** sinusoidal-equivalent amplitude distribution in [n_r] *)
+  | Wander of float
+      (** zero-mean bounded wander; the float in (0, 1] is the fraction of
+          the profile's largest representable rms at each amplitude *)
+
+type point = {
+  amplitude_bins : int;
+  ber : float;
+}
+
+type result = {
+  ber_target : float;
+  tolerance_bins : int; (* largest amplitude meeting the target; 0 if none *)
+  tolerance_ui : float;
+  probes : point list; (* all evaluated amplitudes, ascending *)
+}
+
+val analyze :
+  ?family:family -> ?max_amplitude_bins:int -> ber_target:float -> Config.t -> result
+(** Bisection over integer amplitudes in [[1, max_amplitude_bins]] (default:
+    a quarter of the grid). The config's own [nr] is replaced by the family
+    under test. Raises [Invalid_argument] for a non-positive target. *)
+
+val pp : Format.formatter -> result -> unit

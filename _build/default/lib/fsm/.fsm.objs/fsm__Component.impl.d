@@ -1,0 +1,1 @@
+lib/fsm/component.ml: Array Option Printf

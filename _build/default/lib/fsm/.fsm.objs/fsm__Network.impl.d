@@ -1,0 +1,1 @@
+lib/fsm/network.ml: Array Buffer Component Format Hashtbl List Markov Option Printf Prob Queue Sparse

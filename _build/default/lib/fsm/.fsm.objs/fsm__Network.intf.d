@@ -1,0 +1,1 @@
+lib/fsm/network.mli: Component Format Markov Prob

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  n_states : int;
+  n_inputs : int;
+  input_cards : int array;
+  n_outputs : int;
+  step : int -> int array -> int * int;
+  state_name : int -> string;
+  output_name : int -> string;
+}
+
+let create ~name ~n_states ~input_cards ~n_outputs ~step ?state_name ?output_name () =
+  if n_states <= 0 then invalid_arg "Component.create: n_states must be positive";
+  if n_outputs <= 0 then invalid_arg "Component.create: n_outputs must be positive";
+  Array.iter (fun c -> if c <= 0 then invalid_arg "Component.create: input cardinality must be positive") input_cards;
+  {
+    name;
+    n_states;
+    n_inputs = Array.length input_cards;
+    input_cards = Array.copy input_cards;
+    n_outputs;
+    step;
+    state_name = Option.value state_name ~default:string_of_int;
+    output_name = Option.value output_name ~default:string_of_int;
+  }
+
+let check_step t =
+  let inputs = Array.make t.n_inputs 0 in
+  let rec enumerate port k =
+    if port = t.n_inputs then k ()
+    else
+      for v = 0 to t.input_cards.(port) - 1 do
+        inputs.(port) <- v;
+        enumerate (port + 1) k
+      done
+  in
+  for s = 0 to t.n_states - 1 do
+    enumerate 0 (fun () ->
+        let s', out = t.step s inputs in
+        if s' < 0 || s' >= t.n_states then
+          failwith
+            (Printf.sprintf "Component %s: step from state %d yields out-of-range state %d" t.name s s');
+        if out < 0 || out >= t.n_outputs then
+          failwith
+            (Printf.sprintf "Component %s: step from state %d yields out-of-range output %d" t.name s out))
+  done
+
+let constant ~name ~output ~n_outputs =
+  if output < 0 || output >= n_outputs then invalid_arg "Component.constant: output out of range";
+  create ~name ~n_states:1 ~input_cards:[||] ~n_outputs ~step:(fun _ _ -> (0, output)) ()

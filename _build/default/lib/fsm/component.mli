@@ -1,0 +1,40 @@
+(** One deterministic finite state machine inside a stochastic network.
+
+    States, input symbols and output symbols are integer-coded; the optional
+    name tables only serve diagnostics. Within one clock cycle the component
+    reads its (already resolved) input symbols, emits an output symbol
+    computed from the *current* state and the inputs (Mealy convention, which
+    is what the combinational feed-forward chain data -> phase detector ->
+    counter -> phase selector of the paper's Figure 2 requires), and moves to
+    its next state. *)
+
+type t = {
+  name : string;
+  n_states : int;
+  n_inputs : int; (* number of input ports *)
+  input_cards : int array; (* alphabet size per port, length n_inputs *)
+  n_outputs : int; (* output alphabet size *)
+  step : int -> int array -> int * int; (* state -> inputs -> next state, output *)
+  state_name : int -> string;
+  output_name : int -> string;
+}
+
+val create :
+  name:string ->
+  n_states:int ->
+  input_cards:int array ->
+  n_outputs:int ->
+  step:(int -> int array -> int * int) ->
+  ?state_name:(int -> string) ->
+  ?output_name:(int -> string) ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on non-positive cardinalities. *)
+
+val check_step : t -> unit
+(** Exhaustively evaluates [step] on every (state, inputs) combination and
+    raises [Failure] if any next state or output falls outside the declared
+    ranges. Intended for construction-time validation of small components. *)
+
+val constant : name:string -> output:int -> n_outputs:int -> t
+(** A stateless component that always emits [output]. *)

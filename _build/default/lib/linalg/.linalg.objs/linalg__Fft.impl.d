@@ -1,0 +1,1 @@
+lib/linalg/fft.ml: Array Float

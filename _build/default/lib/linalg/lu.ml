@@ -1,0 +1,83 @@
+type t = {
+  lu : Mat.t; (* L below diagonal (unit diagonal implicit), U on and above *)
+  perm : int array; (* row permutation: factored row i came from input row perm.(i) *)
+  sign : float; (* permutation sign, for the determinant *)
+}
+
+exception Singular of int
+
+let factorize a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factorize: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n Fun.id in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* partial pivoting: bring the largest |entry| of column k to the diagonal *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float (Mat.get lu i k) > abs_float (Mat.get lu !pivot k) then pivot := i
+    done;
+    if Mat.get lu !pivot k = 0.0 then raise (Singular k);
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot j);
+        Mat.set lu !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp;
+      sign := -. !sign
+    end;
+    let pkk = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pkk in
+      Mat.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit lower-triangular L *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i j *. x.(j))
+    done
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat a b = solve (factorize a) b
+
+let determinant { lu; sign; _ } =
+  let n = Mat.rows lu in
+  let det = ref sign in
+  for i = 0 to n - 1 do
+    det := !det *. Mat.get lu i i
+  done;
+  !det
+
+let inverse t =
+  let n = Mat.rows t.lu in
+  let inv = Mat.create ~rows:n ~cols:n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    let col = solve t e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j col.(i)
+    done
+  done;
+  inv

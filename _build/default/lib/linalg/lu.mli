@@ -1,0 +1,25 @@
+(** LU factorization with partial pivoting and the linear solves built on it.
+
+    Meant for the small dense systems appearing at the coarsest multigrid
+    level and in reference computations; complexity is the classic O(n^3). *)
+
+type t
+(** A factorization [P*A = L*U] of a square matrix [A]. *)
+
+exception Singular of int
+(** Raised with the offending elimination column when the matrix is exactly
+    singular (zero pivot column). *)
+
+val factorize : Mat.t -> t
+(** Raises [Invalid_argument] if the matrix is not square and {!Singular} if
+    it is singular. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] returns [x] with [A x = b]. *)
+
+val solve_mat : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factorize] + [solve]. *)
+
+val determinant : t -> float
+
+val inverse : t -> Mat.t

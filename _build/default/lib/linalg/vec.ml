@@ -1,0 +1,111 @@
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let dim = Array.length
+
+let scale a x = Array.map (fun v -> a *. v) x
+
+let scale_in_place a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length x) (Array.length y))
+
+let axpy ~alpha ~x ~y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let add x y =
+  check_same_dim "add" x y;
+  Array.mapi (fun i v -> v +. y.(i)) x
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Array.mapi (fun i v -> v -. y.(i)) x
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+(* Kahan compensated summation: the correction term [c] recovers the low-order
+   bits lost when adding a small term to a large running sum. *)
+let kahan_fold f x =
+  let sum = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let v = f x.(i) -. !c in
+    let t = !sum +. v in
+    c := t -. !sum -. v;
+    sum := t
+  done;
+  !sum
+
+let sum x = kahan_fold Fun.id x
+
+let asum x = kahan_fold abs_float x
+
+let nrm2 x =
+  let scale = ref 0.0 and ssq = ref 1.0 in
+  for i = 0 to Array.length x - 1 do
+    let v = abs_float x.(i) in
+    if v > 0.0 then
+      if !scale < v then begin
+        ssq := 1.0 +. (!ssq *. (!scale /. v) *. (!scale /. v));
+        scale := v
+      end
+      else ssq := !ssq +. ((v /. !scale) *. (v /. !scale))
+  done;
+  !scale *. sqrt !ssq
+
+let norm_inf x = Array.fold_left (fun m v -> Float.max m (abs_float v)) 0.0 x
+
+let dist_l1 x y =
+  check_same_dim "dist_l1" x y;
+  let sum = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let v = abs_float (x.(i) -. y.(i)) -. !c in
+    let t = !sum +. v in
+    c := t -. !sum -. v;
+    sum := t
+  done;
+  !sum
+
+let normalize_l1 x =
+  let s = sum x in
+  if not (Float.is_finite s) || s = 0.0 then
+    invalid_arg "Vec.normalize_l1: zero or non-finite entry sum";
+  scale_in_place (1.0 /. s) x
+
+let max_index x =
+  if Array.length x = 0 then invalid_arg "Vec.max_index: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length x - 1 do
+    if x.(i) > x.(!best) then best := i
+  done;
+  !best
+
+let map2 f x y =
+  check_same_dim "map2" x y;
+  Array.mapi (fun i v -> f v y.(i)) x
+
+let for_all p x = Array.for_all p x
+
+let pp ppf x =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") (fun ppf v -> Format.fprintf ppf "%g" v))
+    (Array.to_list x)

@@ -1,0 +1,60 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module collects the numerical
+    kernels used throughout the repository so that accumulation strategies
+    (compensated sums) live in one place. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is the zero vector of dimension [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val dim : t -> int
+
+val scale : float -> t -> t
+(** [scale a x] is a fresh vector [a * x]. *)
+
+val scale_in_place : float -> t -> unit
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] updates [y <- alpha * x + y]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val dot : t -> t -> float
+
+val sum : t -> float
+(** Compensated (Kahan) sum of all entries. *)
+
+val asum : t -> float
+(** Sum of absolute values (l1 norm), compensated. *)
+
+val nrm2 : t -> float
+(** Euclidean norm, with scaling to avoid overflow. *)
+
+val norm_inf : t -> float
+
+val dist_l1 : t -> t -> float
+(** [dist_l1 x y] is [asum (x - y)] without allocating the difference. *)
+
+val normalize_l1 : t -> unit
+(** Scale in place so entries sum to one. Raises [Invalid_argument] if the
+    entry sum is zero or not finite. *)
+
+val max_index : t -> int
+(** Index of the first maximal entry. Raises [Invalid_argument] on the empty
+    vector. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val for_all : (float -> bool) -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/markov/aggregation.ml: Array Chain Gth Linalg Partition Solution Sparse Splitting

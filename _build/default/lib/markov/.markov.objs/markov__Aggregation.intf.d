@@ -1,0 +1,1 @@
+lib/markov/aggregation.mli: Chain Linalg Partition Solution

@@ -1,0 +1,1 @@
+lib/markov/arnoldi.ml: Array Chain Float Linalg Solution Sparse

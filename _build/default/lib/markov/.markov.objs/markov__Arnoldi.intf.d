@@ -1,0 +1,1 @@
+lib/markov/arnoldi.mli: Chain Linalg Solution

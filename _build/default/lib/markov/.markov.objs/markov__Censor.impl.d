@@ -1,0 +1,1 @@
+lib/markov/censor.ml: Array Chain Hashtbl Linalg Sparse

@@ -1,0 +1,1 @@
+lib/markov/censor.mli: Chain Linalg

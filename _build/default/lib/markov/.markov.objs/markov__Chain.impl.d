@@ -1,0 +1,1 @@
+lib/markov/chain.ml: Array Float Format Linalg Printf Sparse

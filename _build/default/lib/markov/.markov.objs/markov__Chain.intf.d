@@ -1,0 +1,1 @@
+lib/markov/chain.mli: Format Linalg Sparse

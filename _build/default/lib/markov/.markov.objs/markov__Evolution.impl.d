@@ -1,0 +1,1 @@
+lib/markov/evolution.ml: Array Chain Linalg

@@ -1,0 +1,1 @@
+lib/markov/evolution.mli: Chain Linalg

@@ -1,0 +1,1 @@
+lib/markov/gth.ml: Array Chain Linalg Sparse

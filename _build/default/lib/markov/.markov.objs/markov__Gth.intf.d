@@ -1,0 +1,1 @@
+lib/markov/gth.mli: Chain Linalg

@@ -1,0 +1,1 @@
+lib/markov/io.ml: Array Chain Fun Printf Sparse String

@@ -1,0 +1,1 @@
+lib/markov/io.mli: Chain Linalg

@@ -1,0 +1,1 @@
+lib/markov/lump.ml: Aggregation Array Chain List Partition Printf Sparse

@@ -1,0 +1,1 @@
+lib/markov/lump.mli: Chain Partition

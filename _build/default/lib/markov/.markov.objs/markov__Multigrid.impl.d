@@ -1,0 +1,1 @@
+lib/markov/multigrid.ml: Array Chain Gth Hashtbl Linalg List Option Partition Printf Solution Sparse

@@ -1,0 +1,1 @@
+lib/markov/multigrid.mli: Chain Linalg Partition Solution

@@ -1,0 +1,1 @@
+lib/markov/partition.mli: Linalg

@@ -1,0 +1,1 @@
+lib/markov/passage.ml: Array Chain Float Sparse

@@ -1,0 +1,1 @@
+lib/markov/passage.mli: Chain Linalg

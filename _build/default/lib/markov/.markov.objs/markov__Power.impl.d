@@ -1,0 +1,1 @@
+lib/markov/power.ml: Chain Linalg Solution

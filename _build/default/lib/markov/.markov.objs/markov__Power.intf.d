@@ -1,0 +1,1 @@
+lib/markov/power.mli: Chain Linalg Solution

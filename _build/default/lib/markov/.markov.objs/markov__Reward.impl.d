@@ -1,0 +1,1 @@
+lib/markov/reward.ml: Array Chain Float Sparse Stat

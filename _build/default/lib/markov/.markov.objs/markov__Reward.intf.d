@@ -1,0 +1,1 @@
+lib/markov/reward.mli: Chain Linalg

@@ -1,0 +1,1 @@
+lib/markov/solution.ml: Chain Format Linalg

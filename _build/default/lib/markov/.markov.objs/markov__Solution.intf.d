@@ -1,0 +1,1 @@
+lib/markov/solution.mli: Chain Format Linalg

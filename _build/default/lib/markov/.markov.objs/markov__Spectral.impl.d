@@ -1,0 +1,1 @@
+lib/markov/spectral.ml: Array Chain Float Linalg Power Solution Sparse

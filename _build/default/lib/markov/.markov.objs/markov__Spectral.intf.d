@@ -1,0 +1,1 @@
+lib/markov/spectral.mli: Chain Linalg

@@ -1,0 +1,1 @@
+lib/markov/splitting.ml: Array Chain Linalg Solution Sparse

@@ -1,0 +1,1 @@
+lib/markov/splitting.mli: Chain Linalg Solution Sparse

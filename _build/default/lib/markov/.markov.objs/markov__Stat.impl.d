@@ -1,0 +1,1 @@
+lib/markov/stat.ml: Array Chain Sparse

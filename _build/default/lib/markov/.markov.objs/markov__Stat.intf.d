@@ -1,0 +1,1 @@
+lib/markov/stat.mli: Chain Linalg

@@ -1,0 +1,96 @@
+(* Arnoldi iteration for the dominant left eigenvector of P, i.e. the
+   dominant (eigenvalue-1) right eigenvector of A = P^T.
+
+   One restart:
+     1. build V = [v_1 .. v_m] orthonormal, H upper Hessenberg with
+        A V_m = V_m H_m + h_{m+1,m} v_{m+1} e_m^T  (modified Gram-Schmidt);
+     2. find the eigenvector y of H_m for the eigenvalue nearest 1 by
+        inverse iteration on (H_m - theta I) with theta = 1 - epsilon;
+     3. lift x = V_m y, clip negatives (the stationary vector is
+        non-negative; clipping acts as a cheap projection), normalize,
+        restart from x. *)
+
+let hessenberg_eigvec h m =
+  (* inverse iteration for the eigenvalue of the m x m Hessenberg block
+     closest to 1 *)
+  let shift = 1.0 -. 1e-8 in
+  let a = Linalg.Mat.init ~rows:m ~cols:m (fun i j -> h.(i).(j) -. if i = j then shift else 0.0) in
+  let y = ref (Array.make m (1.0 /. sqrt (float_of_int m))) in
+  (try
+     let lu = Linalg.Lu.factorize a in
+     for _ = 1 to 8 do
+       let z = Linalg.Lu.solve lu !y in
+       let norm = Linalg.Vec.nrm2 z in
+       if norm > 0.0 && Float.is_finite norm then begin
+         Linalg.Vec.scale_in_place (1.0 /. norm) z;
+         y := z
+       end
+     done
+   with Linalg.Lu.Singular _ ->
+     (* shift hit an eigenvalue exactly: the current iterate is fine *)
+     ());
+  !y
+
+let solve ?(tol = 1e-12) ?(max_restarts = 200) ?(subspace = 20) ?init chain =
+  let n = Chain.n_states chain in
+  let m = max 2 (min subspace n) in
+  let pt = Sparse.Csr.transpose (Chain.tpm chain) in
+  let apply x = Sparse.Csr.mul_vec pt x in
+  let x = match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain in
+  Linalg.Vec.normalize_l1 x;
+  let applications = ref 0 in
+  let restarts = ref 0 in
+  let continue_ = ref (n > 0) in
+  while !continue_ && !restarts < max_restarts do
+    (* Arnoldi factorization from the current iterate *)
+    let v = Array.make (m + 1) [||] in
+    let h = Array.make_matrix m m 0.0 in
+    let x2 = Linalg.Vec.nrm2 x in
+    v.(0) <- Linalg.Vec.scale (1.0 /. x2) x;
+    let breakdown = ref None in
+    let k = ref 0 in
+    while !breakdown = None && !k < m do
+      let j = !k in
+      let w = apply v.(j) in
+      incr applications;
+      (* modified Gram-Schmidt *)
+      for i = 0 to j do
+        let hij = Linalg.Vec.dot v.(i) w in
+        h.(i).(j) <- hij;
+        Linalg.Vec.axpy ~alpha:(-.hij) ~x:v.(i) ~y:w
+      done;
+      let norm = Linalg.Vec.nrm2 w in
+      if j + 1 < m then h.(j + 1).(j) <- norm;
+      if norm < 1e-14 then breakdown := Some (j + 1)
+      else begin
+        Linalg.Vec.scale_in_place (1.0 /. norm) w;
+        v.(j + 1) <- w
+      end;
+      incr k
+    done;
+    let dim = match !breakdown with Some d -> d | None -> m in
+    let y = hessenberg_eigvec h dim in
+    (* lift back: x = V y, kept *signed* across restarts — clipping inside
+       the loop would project out the correction directions Krylov needs *)
+    Linalg.Vec.fill x 0.0;
+    for i = 0 to dim - 1 do
+      Linalg.Vec.axpy ~alpha:y.(i) ~x:v.(i) ~y:x
+    done;
+    let pos = ref 0.0 and neg = ref 0.0 in
+    Array.iter (fun c -> if c >= 0.0 then pos := !pos +. c else neg := !neg -. c) x;
+    if !neg > !pos then Linalg.Vec.scale_in_place (-1.0) x;
+    let norm = Linalg.Vec.nrm2 x in
+    if norm > 0.0 && Float.is_finite norm then Linalg.Vec.scale_in_place (1.0 /. norm) x
+    else Array.iteri (fun i _ -> x.(i) <- 1.0 /. float_of_int n) x;
+    incr restarts;
+    (* convergence is judged on the cleaned (non-negative, l1-normalized)
+       candidate *)
+    let cleaned = Array.map (fun c -> Float.max c 0.0) x in
+    (match Linalg.Vec.normalize_l1 cleaned with
+    | () -> if Chain.residual chain cleaned <= tol then continue_ := false
+    | exception Invalid_argument _ -> ())
+  done;
+  let cleaned = Array.map (fun c -> Float.max c 0.0) x in
+  (try Linalg.Vec.normalize_l1 cleaned
+   with Invalid_argument _ -> Array.iteri (fun i _ -> cleaned.(i) <- 1.0 /. float_of_int n) cleaned);
+  Solution.make ~chain ~pi:cleaned ~iterations:!applications ~tol

@@ -1,0 +1,19 @@
+(** Krylov-subspace stationary solver (the "Krylov subspace methods" the
+    paper lists alongside the classical iterations).
+
+    Builds an Arnoldi factorization of the column-stochastic operator [P^T]
+    and extracts the Ritz vector for the eigenvalue closest to 1. Restarted:
+    the Ritz vector seeds the next factorization until the stationarity
+    residual meets the tolerance. The small [m x m] Hessenberg eigenproblem
+    is solved by inverse iteration with the hand-built LU. *)
+
+val solve :
+  ?tol:float ->
+  ?max_restarts:int ->
+  ?subspace:int ->
+  ?init:Linalg.Vec.t ->
+  Chain.t ->
+  Solution.t
+(** Defaults: [tol = 1e-12], [max_restarts = 200], [subspace = 20] (Krylov
+    dimension per restart). [Solution.iterations] counts operator
+    applications. *)

@@ -1,0 +1,57 @@
+let partition_states chain keep =
+  let n = Chain.n_states chain in
+  let kept = ref [] and dropped = ref [] in
+  for i = n - 1 downto 0 do
+    if keep i then kept := i :: !kept else dropped := i :: !dropped
+  done;
+  (Array.of_list !kept, Array.of_list !dropped)
+
+(* S = P_AA + P_AB (I - P_BB)^{-1} P_BA, built densely over the blocks. *)
+let stochastic_complement chain ~keep =
+  let kept, dropped = partition_states chain keep in
+  let na = Array.length kept and nb = Array.length dropped in
+  if na = 0 then invalid_arg "Censor: keep selects no states";
+  let tpm = Chain.tpm chain in
+  if nb = 0 then (chain, kept)
+  else begin
+    let index_in_a = Hashtbl.create na and index_in_b = Hashtbl.create (max nb 1) in
+    Array.iteri (fun k i -> Hashtbl.add index_in_a i k) kept;
+    Array.iteri (fun k i -> Hashtbl.add index_in_b i k) dropped;
+    let p_aa = Linalg.Mat.create ~rows:na ~cols:na in
+    let p_ab = Linalg.Mat.create ~rows:na ~cols:nb in
+    let p_ba = Linalg.Mat.create ~rows:nb ~cols:na in
+    let i_minus_p_bb = Linalg.Mat.identity nb in
+    Sparse.Csr.iter tpm (fun i j v ->
+        match (Hashtbl.find_opt index_in_a i, Hashtbl.find_opt index_in_a j) with
+        | Some a_i, Some a_j -> Linalg.Mat.set p_aa a_i a_j v
+        | Some a_i, None -> Linalg.Mat.set p_ab a_i (Hashtbl.find index_in_b j) v
+        | None, Some a_j -> Linalg.Mat.set p_ba (Hashtbl.find index_in_b i) a_j v
+        | None, None ->
+            let b_i = Hashtbl.find index_in_b i and b_j = Hashtbl.find index_in_b j in
+            Linalg.Mat.set i_minus_p_bb b_i b_j (Linalg.Mat.get i_minus_p_bb b_i b_j -. v));
+    (* X = (I - P_BB)^{-1} P_BA, column by column through the LU *)
+    let lu =
+      try Linalg.Lu.factorize i_minus_p_bb
+      with Linalg.Lu.Singular _ ->
+        invalid_arg "Censor: the complement block traps the chain (I - P_BB singular)"
+    in
+    let x = Linalg.Mat.create ~rows:nb ~cols:na in
+    for col = 0 to na - 1 do
+      let rhs = Array.init nb (fun r -> Linalg.Mat.get p_ba r col) in
+      let sol = Linalg.Lu.solve lu rhs in
+      for r = 0 to nb - 1 do
+        Linalg.Mat.set x r col sol.(r)
+      done
+    done;
+    let s = Linalg.Mat.add p_aa (Linalg.Mat.mul p_ab x) in
+    (Chain.of_dense ~tol:1e-6 s, kept)
+  end
+
+let conditional_stationary chain ~pi ~keep =
+  let n = Chain.n_states chain in
+  if Array.length pi <> n then invalid_arg "Censor: pi dimension mismatch";
+  let kept, _ = partition_states chain keep in
+  if Array.length kept = 0 then invalid_arg "Censor: keep selects no states";
+  let restricted = Array.map (fun i -> pi.(i)) kept in
+  Linalg.Vec.normalize_l1 restricted;
+  restricted

@@ -1,0 +1,24 @@
+(** Censored chains (stochastic complementation).
+
+    The exact counterpart of the lumping discussion: watching the chain only
+    while it is inside a set [A] yields another Markov chain on [A] whose
+    transition matrix is the *stochastic complement*
+
+    [S = P_AA + P_AB (I - P_BB)^{-1} P_BA]
+
+    and whose stationary distribution is the conditional distribution
+    [pi(. | A)]. Unlike lumping, censoring is always exact — at the price of
+    a linear solve against the complement block. Used to extract exact
+    sub-models (e.g. the loop conditioned on a data pattern) and as the
+    theoretical reference for aggregation error. Dense in the complement
+    block, so intended for moderate [|B|]. *)
+
+val stochastic_complement : Chain.t -> keep:(int -> bool) -> Chain.t * int array
+(** [(censored, kept_states)] where [kept_states.(k)] is the original index
+    of censored state [k]. Raises [Invalid_argument] when [keep] selects
+    nothing or everything is absorbing inside the complement (the chain must
+    leave [B] with probability 1, which irreducibility guarantees). *)
+
+val conditional_stationary : Chain.t -> pi:Linalg.Vec.t -> keep:(int -> bool) -> Linalg.Vec.t
+(** [pi(. | A)] by restriction and renormalization — the vector the censored
+    chain's stationary distribution must equal (tested). *)

@@ -1,0 +1,64 @@
+type t = { tpm : Sparse.Csr.t }
+
+exception Not_stochastic of string
+
+let of_csr ?(tol = 1e-9) m =
+  if Sparse.Csr.rows m <> Sparse.Csr.cols m then
+    raise (Not_stochastic (Printf.sprintf "matrix is %dx%d, not square" (Sparse.Csr.rows m) (Sparse.Csr.cols m)));
+  Sparse.Csr.iter m (fun i j v ->
+      if v < 0.0 || not (Float.is_finite v) then
+        raise (Not_stochastic (Printf.sprintf "entry (%d,%d) = %g is not a probability" i j v)));
+  let sums = Sparse.Csr.row_sums m in
+  Array.iteri
+    (fun i s ->
+      if abs_float (s -. 1.0) > tol then
+        raise (Not_stochastic (Printf.sprintf "row %d sums to %.12g" i s)))
+    sums;
+  (* exact renormalization: iterative solvers assume row sums of exactly 1 *)
+  let inv = Array.map (fun s -> 1.0 /. s) sums in
+  { tpm = Sparse.Csr.scale_rows m inv }
+
+let of_dense ?tol m = of_csr ?tol (Sparse.Csr.of_dense m)
+
+let n_states c = Sparse.Csr.rows c.tpm
+
+let tpm c = c.tpm
+
+let step c pi = Sparse.Csr.vec_mul pi c.tpm
+
+let step_into c pi out = Sparse.Csr.vec_mul_into pi c.tpm out
+
+let residual c pi =
+  let next = step c pi in
+  Linalg.Vec.dist_l1 next pi
+
+let uniform c =
+  let n = n_states c in
+  Array.make n (1.0 /. float_of_int n)
+
+let transition_prob c i j = Sparse.Csr.get c.tpm i j
+
+let reachable_all m start =
+  let n = Sparse.Csr.rows m in
+  let seen = Array.make n false in
+  let stack = ref [ start ] in
+  seen.(start) <- true;
+  let count = ref 1 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+        stack := rest;
+        Sparse.Csr.iter_row m i (fun j _ ->
+            if not seen.(j) then begin
+              seen.(j) <- true;
+              incr count;
+              stack := j :: !stack
+            end)
+  done;
+  !count = n
+
+let is_irreducible c =
+  n_states c > 0 && reachable_all c.tpm 0 && reachable_all (Sparse.Csr.transpose c.tpm) 0
+
+let pp_stats ppf c = Format.fprintf ppf "chain: %a" Sparse.Csr.pp_stats c.tpm

@@ -1,0 +1,40 @@
+(** Finite discrete-time Markov chains.
+
+    A chain is its row-stochastic transition probability matrix (TPM) [P]:
+    [P.(i).(j) = Prob(X_{k+1} = j | X_k = i)]. Construction validates
+    stochasticity; a private row re-normalization absorbs the rounding dust
+    that compositional construction inevitably produces. *)
+
+type t = private { tpm : Sparse.Csr.t }
+
+exception Not_stochastic of string
+
+val of_csr : ?tol:float -> Sparse.Csr.t -> t
+(** Checks squareness, non-negative entries and row sums within [tol]
+    (default [1e-9]) of one, then re-normalizes each row exactly.
+    Raises {!Not_stochastic} otherwise. *)
+
+val of_dense : ?tol:float -> Linalg.Mat.t -> t
+
+val n_states : t -> int
+
+val tpm : t -> Sparse.Csr.t
+
+val step : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [step c pi] is the distribution after one transition, [pi * P]. *)
+
+val step_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+
+val residual : t -> Linalg.Vec.t -> float
+(** [residual c pi = ||pi P - pi||_1], the stationarity defect. *)
+
+val uniform : t -> Linalg.Vec.t
+
+val transition_prob : t -> int -> int -> float
+
+val is_irreducible : t -> bool
+(** True when the directed graph of positive transitions is strongly
+    connected (forward and backward reachability from state 0 cover all
+    states). *)
+
+val pp_stats : Format.formatter -> t -> unit

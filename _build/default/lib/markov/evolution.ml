@@ -1,0 +1,46 @@
+let check_initial chain initial =
+  if Array.length initial <> Chain.n_states chain then
+    invalid_arg "Evolution: initial distribution dimension mismatch"
+
+let trajectory chain ~initial ~steps ~f =
+  check_initial chain initial;
+  if steps < 0 then invalid_arg "Evolution.trajectory: negative steps";
+  let cur = ref (Linalg.Vec.copy initial) in
+  let next = ref (Linalg.Vec.create (Chain.n_states chain)) in
+  f 0 !cur;
+  for k = 1 to steps do
+    Chain.step_into chain !cur !next;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp;
+    f k !cur
+  done
+
+let distribution_at chain ~initial ~steps =
+  let result = ref (Linalg.Vec.copy initial) in
+  trajectory chain ~initial ~steps ~f:(fun k dist -> if k = steps then result := Linalg.Vec.copy dist);
+  !result
+
+let distance_to_stationarity chain ~initial ~pi ~steps =
+  check_initial chain initial;
+  if Array.length pi <> Chain.n_states chain then invalid_arg "Evolution: pi dimension mismatch";
+  let out = Array.make (steps + 1) 0.0 in
+  trajectory chain ~initial ~steps ~f:(fun k dist -> out.(k) <- 0.5 *. Linalg.Vec.dist_l1 dist pi);
+  out
+
+let settling_time ?(epsilon = 1e-3) ?(max_steps = 100_000) chain ~initial ~pi =
+  check_initial chain initial;
+  let cur = ref (Linalg.Vec.copy initial) in
+  let next = ref (Linalg.Vec.create (Chain.n_states chain)) in
+  let rec loop k =
+    if 0.5 *. Linalg.Vec.dist_l1 !cur pi <= epsilon then Some k
+    else if k >= max_steps then None
+    else begin
+      Chain.step_into chain !cur !next;
+      let tmp = !cur in
+      cur := !next;
+      next := tmp;
+      loop (k + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,26 @@
+(** Transient (finite-horizon) behaviour: distribution evolution and
+    convergence to stationarity.
+
+    Complements the stationary analyses: where {!Power}/{!Multigrid} answer
+    "where does the loop live eventually", these answer "how does it get
+    there" — e.g. the distribution of the phase error [k] bits after
+    power-up, or how many bits it takes before steady-state BER figures
+    apply. *)
+
+val distribution_at : Chain.t -> initial:Linalg.Vec.t -> steps:int -> Linalg.Vec.t
+(** [steps] forward steps of the chain ([initial * P^steps]). *)
+
+val trajectory :
+  Chain.t -> initial:Linalg.Vec.t -> steps:int -> f:(int -> Linalg.Vec.t -> unit) -> unit
+(** Calls [f k dist_k] for [k = 0 .. steps]; the array passed to [f] is
+    reused between calls — copy it to keep it. *)
+
+val distance_to_stationarity :
+  Chain.t -> initial:Linalg.Vec.t -> pi:Linalg.Vec.t -> steps:int -> float array
+(** Total-variation distance [d(k) = (1/2) ||initial P^k - pi||_1] for
+    [k = 0 .. steps]; monotone non-increasing. *)
+
+val settling_time :
+  ?epsilon:float -> ?max_steps:int -> Chain.t -> initial:Linalg.Vec.t -> pi:Linalg.Vec.t -> int option
+(** First [k] with [d(k) <= epsilon] (default [1e-3]), or [None] within
+    [max_steps] (default [100_000]). *)

@@ -1,0 +1,49 @@
+let max_direct_size = 512
+
+(* Standard GTH: eliminate states n-1 .. 1, folding each eliminated state's
+   transition mass onto the remaining states, then back-substitute. Division
+   is by the *off-diagonal row mass* (never by 1 - p_ii), which keeps the
+   computation subtraction-free. *)
+let solve_dense p0 =
+  let n = Linalg.Mat.rows p0 in
+  if Linalg.Mat.cols p0 <> n then invalid_arg "Gth.solve_dense: matrix not square";
+  if n = 0 then [||]
+  else begin
+    let p = Linalg.Mat.to_arrays p0 in
+    (* exit.(k) is the off-diagonal mass of row k in the chain censored on
+       {0..k}; the balance equation pi_k * exit_k = inflow_k drives the
+       back-substitution *)
+    let exit = Array.make n 1.0 in
+    for k = n - 1 downto 1 do
+      let s = ref 0.0 in
+      for j = 0 to k - 1 do
+        s := !s +. p.(k).(j)
+      done;
+      if !s <= 0.0 then failwith "Gth.solve_dense: reducible chain (no exit from eliminated block)";
+      exit.(k) <- !s;
+      for j = 0 to k - 1 do
+        p.(k).(j) <- p.(k).(j) /. !s
+      done;
+      for i = 0 to k - 1 do
+        let pik = p.(i).(k) in
+        if pik > 0.0 then
+          for j = 0 to k - 1 do
+            p.(i).(j) <- p.(i).(j) +. (pik *. p.(k).(j))
+          done
+      done
+    done;
+    let pi = Array.make n 0.0 in
+    pi.(0) <- 1.0;
+    for k = 1 to n - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to k - 1 do
+        acc := !acc +. (pi.(i) *. p.(i).(k))
+      done;
+      pi.(k) <- !acc /. exit.(k)
+    done;
+    let total = Linalg.Vec.sum pi in
+    Linalg.Vec.scale_in_place (1.0 /. total) pi;
+    pi
+  end
+
+let solve chain = solve_dense (Sparse.Csr.to_dense (Chain.tpm chain))

@@ -1,0 +1,20 @@
+(** Grassmann–Taksar–Heyman (GTH) elimination: a direct, subtraction-free
+    stationary-distribution solver.
+
+    GTH is the numerically safe way to solve small chains exactly — all
+    operations are additions/multiplications/divisions of non-negative
+    quantities, so no cancellation occurs even for nearly-uncoupled chains.
+    O(n^3) dense; used for the coarsest multigrid level and as the reference
+    oracle in tests. *)
+
+val solve_dense : Linalg.Mat.t -> Linalg.Vec.t
+(** Stationary distribution of a row-stochastic dense matrix. Requires the
+    chain to be irreducible; raises [Invalid_argument] on a non-square input
+    and [Failure] when elimination encounters an isolated state (reducible
+    chain). *)
+
+val solve : Chain.t -> Linalg.Vec.t
+
+val max_direct_size : int
+(** Advisory size bound (number of states) under which the dense O(n^3) solve
+    is considered cheap; multigrid coarsens down to this. *)

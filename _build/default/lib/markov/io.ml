@@ -1,0 +1,90 @@
+let chain_magic = "cdr-markov chain v1"
+let vector_magic = "cdr-markov vector v1"
+
+let write_chain oc chain =
+  let tpm = Chain.tpm chain in
+  Printf.fprintf oc "%s\n%d %d\n" chain_magic (Chain.n_states chain) (Sparse.Csr.nnz tpm);
+  Sparse.Csr.iter tpm (fun i j v -> Printf.fprintf oc "%d %d %h\n" i j v)
+
+let read_line_opt ic = try Some (input_line ic) with End_of_file -> None
+
+let read_chain ic =
+  match read_line_opt ic with
+  | Some magic when magic = chain_magic -> (
+      match read_line_opt ic with
+      | None -> Error "missing dimension line"
+      | Some dims -> (
+          match String.split_on_char ' ' (String.trim dims) with
+          | [ n_str; nnz_str ] -> (
+              match (int_of_string_opt n_str, int_of_string_opt nnz_str) with
+              | Some n, Some nnz when n >= 0 && nnz >= 0 -> (
+                  let acc = Sparse.Coo.create ~rows:n ~cols:n in
+                  let rec load k =
+                    if k = nnz then Ok ()
+                    else
+                      match read_line_opt ic with
+                      | None -> Error (Printf.sprintf "unexpected end of file at entry %d" k)
+                      | Some line -> (
+                          match String.split_on_char ' ' (String.trim line) with
+                          | [ i_str; j_str; v_str ] -> (
+                              match
+                                ( int_of_string_opt i_str,
+                                  int_of_string_opt j_str,
+                                  float_of_string_opt v_str )
+                              with
+                              | Some i, Some j, Some v -> (
+                                  match Sparse.Coo.add acc ~row:i ~col:j v with
+                                  | () -> load (k + 1)
+                                  | exception Invalid_argument msg -> Error msg)
+                              | _ -> Error (Printf.sprintf "malformed entry %d: %S" k line))
+                          | _ -> Error (Printf.sprintf "malformed entry %d: %S" k line))
+                  in
+                  match load 0 with
+                  | Error _ as e -> e
+                  | Ok () -> (
+                      match Chain.of_csr (Sparse.Coo.to_csr acc) with
+                      | chain -> Ok chain
+                      | exception Chain.Not_stochastic msg -> Error ("not stochastic: " ^ msg)))
+              | _ -> Error "malformed dimension line")
+          | _ -> Error "malformed dimension line"))
+  | Some magic -> Error (Printf.sprintf "bad header %S" magic)
+  | None -> Error "empty file"
+
+let write_vector oc x =
+  Printf.fprintf oc "%s\n%d\n" vector_magic (Array.length x);
+  Array.iter (fun v -> Printf.fprintf oc "%h\n" v) x
+
+let read_vector ic =
+  match read_line_opt ic with
+  | Some magic when magic = vector_magic -> (
+      match read_line_opt ic with
+      | None -> Error "missing length line"
+      | Some n_str -> (
+          match int_of_string_opt (String.trim n_str) with
+          | Some n when n >= 0 -> (
+              let out = Array.make n 0.0 in
+              let rec load k =
+                if k = n then Ok out
+                else
+                  match read_line_opt ic with
+                  | None -> Error (Printf.sprintf "unexpected end of file at entry %d" k)
+                  | Some line -> (
+                      match float_of_string_opt (String.trim line) with
+                      | Some v ->
+                          out.(k) <- v;
+                          load (k + 1)
+                      | None -> Error (Printf.sprintf "malformed entry %d: %S" k line))
+              in
+              load 0)
+          | _ -> Error "malformed length line"))
+  | Some magic -> Error (Printf.sprintf "bad header %S" magic)
+  | None -> Error "empty file"
+
+let save_chain path chain =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_chain oc chain)
+
+let load_chain path =
+  match open_in path with
+  | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_chain ic)
+  | exception Sys_error msg -> Error msg

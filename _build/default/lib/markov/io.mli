@@ -1,0 +1,30 @@
+(** Plain-text persistence for chains and stationary vectors.
+
+    Building a large composed chain can take longer than solving it; these
+    functions let a workflow cache the TPM and results between runs. The
+    format is a tagged MatrixMarket-style coordinate listing:
+
+    {v
+    cdr-markov chain v1
+    <n> <nnz>
+    <row> <col> <probability>   (nnz lines, 0-based indices)
+    v}
+
+    Floats are written in full hexadecimal precision ([%h]) so the file
+    round-trip is exact; {!Chain.of_csr}'s row re-normalization on load may
+    still move entries by one ulp when a row's compensated sum is not
+    bitwise [1.0]. *)
+
+val write_chain : out_channel -> Chain.t -> unit
+
+val read_chain : in_channel -> (Chain.t, string) result
+(** Validates the header, the dimensions, and stochasticity. *)
+
+val write_vector : out_channel -> Linalg.Vec.t -> unit
+
+val read_vector : in_channel -> (Linalg.Vec.t, string) result
+
+val save_chain : string -> Chain.t -> unit
+(** [save_chain path chain]; truncates an existing file. *)
+
+val load_chain : string -> (Chain.t, string) result

@@ -1,0 +1,46 @@
+(* Row i's distribution over coarse blocks. *)
+let row_block_sums chain partition i =
+  let out = Array.make partition.Partition.n_coarse 0.0 in
+  Sparse.Csr.iter_row (Chain.tpm chain) i (fun j v ->
+      let b = Partition.block partition j in
+      out.(b) <- out.(b) +. v);
+  out
+
+let find_violation ~tol chain partition =
+  let members = Partition.blocks partition in
+  let violation = ref None in
+  Array.iteri
+    (fun b states ->
+      if !violation = None then
+        match states with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+            let reference = row_block_sums chain partition first in
+            List.iter
+              (fun i ->
+                if !violation = None then begin
+                  let sums = row_block_sums chain partition i in
+                  Array.iteri
+                    (fun target v ->
+                      if !violation = None && abs_float (v -. reference.(target)) > tol then
+                        violation :=
+                          Some
+                            (Printf.sprintf
+                               "block %d: states %d and %d send %.6g vs %.6g to block %d" b first
+                               i reference.(target) v target))
+                    sums
+                end)
+              rest)
+    members;
+  !violation
+
+let is_lumpable ?(tol = 1e-12) chain partition = find_violation ~tol chain partition = None
+
+let lump_unchecked chain partition =
+  let weights = Array.make (Chain.n_states chain) 1.0 in
+  Aggregation.coarsen chain partition ~weights
+
+let lump ?(tol = 1e-12) chain partition =
+  match find_violation ~tol chain partition with
+  | Some msg -> Error msg
+  | None -> Ok (lump_unchecked chain partition)

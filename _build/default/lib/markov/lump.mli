@@ -1,0 +1,18 @@
+(** Exact (ordinary) lumpability.
+
+    A partition is lumpable when every state of a block has the same total
+    transition probability into each other block; then the lumped process is
+    Markov for *every* initial distribution and the chain truly reduces (the
+    paper notes this rarely holds for interesting models — hence weak
+    lumpability and iterate-weighted aggregation). *)
+
+val is_lumpable : ?tol:float -> Chain.t -> Partition.t -> bool
+(** Default [tol = 1e-12]. *)
+
+val lump : ?tol:float -> Chain.t -> Partition.t -> (Chain.t, string) result
+(** The exactly lumped chain, or [Error] describing the first violating
+    block pair. *)
+
+val lump_unchecked : Chain.t -> Partition.t -> Chain.t
+(** Uniform-weight lumping regardless of lumpability (used for tests and
+    rough previews; coincides with {!lump} when the partition is lumpable). *)

@@ -1,0 +1,303 @@
+type stats = { cycles : int; levels : int; coarsest_size : int; smoothing_sweeps : int }
+
+let default_hierarchy ~n ~coarsest =
+  if coarsest < 1 then invalid_arg "Multigrid.default_hierarchy: coarsest must be >= 1";
+  let rec build n acc =
+    if n <= coarsest then List.rev acc
+    else
+      let p = Partition.pair_consecutive n in
+      build p.Partition.n_coarse (p :: acc)
+  in
+  build n []
+
+let validate_hierarchy ~n hierarchy =
+  let rec check n = function
+    | [] -> ()
+    | p :: rest ->
+        if p.Partition.n_fine <> n then
+          invalid_arg
+            (Printf.sprintf "Multigrid.solve: hierarchy level expects %d states, chain has %d"
+               p.Partition.n_fine n);
+        check p.Partition.n_coarse rest
+  in
+  check n hierarchy
+
+(* Sparse pattern of one level's matrix, stored as raw arrays so cycles touch
+   no hash tables or allocation. *)
+type pattern = {
+  n : int;
+  row_ptr : int array;
+  col_idx : int array;
+  (* transpose of the same pattern, with [trans_perm.(k)] the position in the
+     transposed value array of entry [k] *)
+  trans_row_ptr : int array;
+  trans_col_idx : int array;
+  trans_perm : int array;
+}
+
+let pattern_of_csr (m : Sparse.Csr.t) =
+  let n = Sparse.Csr.rows m in
+  let nnz = Sparse.Csr.nnz m in
+  let row_ptr = Array.copy m.Sparse.Csr.row_ptr in
+  let col_idx = Array.copy m.Sparse.Csr.col_idx in
+  (* transpose mapping by counting sort *)
+  let counts = Array.make n 0 in
+  Array.iter (fun j -> counts.(j) <- counts.(j) + 1) col_idx;
+  let trans_row_ptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    trans_row_ptr.(j + 1) <- trans_row_ptr.(j) + counts.(j)
+  done;
+  let pos = Array.copy trans_row_ptr in
+  let trans_col_idx = Array.make nnz 0 in
+  let trans_perm = Array.make nnz 0 in
+  for i = 0 to n - 1 do
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      let j = col_idx.(k) in
+      trans_col_idx.(pos.(j)) <- i;
+      trans_perm.(k) <- pos.(j);
+      pos.(j) <- pos.(j) + 1
+    done
+  done;
+  { n; row_ptr; col_idx; trans_row_ptr; trans_col_idx; trans_perm }
+
+(* One coarsening step's precomputed structure. *)
+type level = {
+  partition : Partition.t;
+  fine : pattern;
+  coarse : pattern;
+  target : int array; (* fine entry k -> index in the coarse value array *)
+  fine_row : int array; (* fine entry k -> its row *)
+  block_sizes : int array;
+}
+
+(* Symbolic aggregation: the coarse pattern is the image of the fine pattern
+   under the partition. Computed once; hash tables allowed here. *)
+let make_level fine partition =
+  let nc = partition.Partition.n_coarse in
+  let nnz_f = Array.length fine.col_idx in
+  let fine_row = Array.make nnz_f 0 in
+  for i = 0 to fine.n - 1 do
+    for k = fine.row_ptr.(i) to fine.row_ptr.(i + 1) - 1 do
+      fine_row.(k) <- i
+    done
+  done;
+  (* collect coarse (I, J) pairs per coarse row *)
+  let row_tables = Array.init nc (fun _ -> Hashtbl.create 8) in
+  for k = 0 to nnz_f - 1 do
+    let bi = Partition.block partition fine_row.(k) in
+    let bj = Partition.block partition fine.col_idx.(k) in
+    if not (Hashtbl.mem row_tables.(bi) bj) then Hashtbl.add row_tables.(bi) bj ()
+  done;
+  let row_ptr = Array.make (nc + 1) 0 in
+  for i = 0 to nc - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + Hashtbl.length row_tables.(i)
+  done;
+  let nnz_c = row_ptr.(nc) in
+  let col_idx = Array.make nnz_c 0 in
+  let index_of = Array.init nc (fun _ -> Hashtbl.create 8) in
+  for i = 0 to nc - 1 do
+    let cols = Hashtbl.fold (fun j () acc -> j :: acc) row_tables.(i) [] in
+    let cols = List.sort compare cols in
+    List.iteri
+      (fun offset j ->
+        col_idx.(row_ptr.(i) + offset) <- j;
+        Hashtbl.add index_of.(i) j (row_ptr.(i) + offset))
+      cols
+  done;
+  let target = Array.make nnz_f 0 in
+  for k = 0 to nnz_f - 1 do
+    let bi = Partition.block partition fine_row.(k) in
+    let bj = Partition.block partition fine.col_idx.(k) in
+    target.(k) <- Hashtbl.find index_of.(bi) bj
+  done;
+  let coarse =
+    pattern_of_csr
+      (Sparse.Csr.unsafe_make ~rows:nc ~cols:nc ~row_ptr ~col_idx
+         ~values:(Array.make nnz_c 0.0))
+  in
+  (* pattern_of_csr copies row_ptr/col_idx; fine to reuse *)
+  let block_sizes = Array.make nc 0 in
+  Array.iter (fun b -> block_sizes.(b) <- block_sizes.(b) + 1) partition.Partition.map;
+  { partition; fine; coarse; target; fine_row; block_sizes }
+
+(* Numeric aggregation into preallocated arrays: coarse values from fine
+   values and the current iterate weights, rows renormalized to sum 1. *)
+let aggregate level ~fine_values ~weights ~coarse_values ~block_weight =
+  let partition = level.partition in
+  let nc = partition.Partition.n_coarse in
+  Array.fill block_weight 0 nc 0.0;
+  Array.iteri
+    (fun i x -> block_weight.(partition.Partition.map.(i)) <- block_weight.(partition.Partition.map.(i)) +. x)
+    weights;
+  Array.fill coarse_values 0 (Array.length coarse_values) 0.0;
+  let nnz_f = Array.length fine_values in
+  for k = 0 to nnz_f - 1 do
+    let i = level.fine_row.(k) in
+    let b = partition.Partition.map.(i) in
+    let w =
+      if block_weight.(b) > 0.0 then weights.(i) /. block_weight.(b)
+      else 1.0 /. float_of_int level.block_sizes.(b)
+    in
+    coarse_values.(level.target.(k)) <- coarse_values.(level.target.(k)) +. (w *. fine_values.(k))
+  done;
+  (* renormalize rows: rounding dust accumulates across levels *)
+  for i = 0 to nc - 1 do
+    let s = ref 0.0 in
+    for k = level.coarse.row_ptr.(i) to level.coarse.row_ptr.(i + 1) - 1 do
+      s := !s +. coarse_values.(k)
+    done;
+    if !s > 0.0 then
+      for k = level.coarse.row_ptr.(i) to level.coarse.row_ptr.(i + 1) - 1 do
+        coarse_values.(k) <- coarse_values.(k) /. !s
+      done
+  done
+
+(* Gauss-Seidel sweeps for pi(I - P) = 0 on raw transposed-pattern arrays. *)
+let gauss_seidel_sweeps pat trans_values x sweeps =
+  let n = pat.n in
+  for _ = 1 to sweeps do
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 and self = ref 0.0 in
+      for k = pat.trans_row_ptr.(i) to pat.trans_row_ptr.(i + 1) - 1 do
+        let j = pat.trans_col_idx.(k) in
+        if j = i then self := trans_values.(k) else acc := !acc +. (trans_values.(k) *. x.(j))
+      done;
+      let denom = 1.0 -. !self in
+      x.(i) <- (if denom < 1e-300 then x.(i) else !acc /. denom)
+    done;
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. x.(i)
+    done;
+    if !s > 0.0 then
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) /. !s
+      done
+  done
+
+let scatter_transpose pat values trans_values =
+  Array.iteri (fun k v -> trans_values.(pat.trans_perm.(k)) <- v) values
+
+(* Per-level workspace allocated once. *)
+type workspace = {
+  level : level option; (* None at the coarsest *)
+  values : Linalg.Vec.t; (* this level's matrix values *)
+  trans_values : Linalg.Vec.t;
+  x : Linalg.Vec.t; (* this level's iterate *)
+  block_weight : Linalg.Vec.t; (* |coarse| scratch, when level present *)
+  pat : pattern;
+}
+
+let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ~hierarchy
+    chain =
+  let n = Chain.n_states chain in
+  validate_hierarchy ~n hierarchy;
+  let fine_csr = Chain.tpm chain in
+  let fine_pattern = pattern_of_csr fine_csr in
+  (* build levels until the size drops under the direct-solve bound or the
+     hierarchy ends *)
+  let rec build_levels pat hierarchy_rest acc =
+    match hierarchy_rest with
+    | [] -> List.rev acc
+    | _ when pat.n <= Gth.max_direct_size -> List.rev acc
+    | partition :: rest ->
+        let level = make_level pat partition in
+        build_levels level.coarse rest (level :: acc)
+  in
+  let levels = build_levels fine_pattern hierarchy [] in
+  (* workspaces: one per level plus the coarsest *)
+  let workspaces =
+    let rec build pat values = function
+      | [] ->
+          [
+            {
+              level = None;
+              values;
+              trans_values = Array.make (Array.length values) 0.0;
+              x = Array.make pat.n 0.0;
+              block_weight = [||];
+              pat;
+            };
+          ]
+      | (level : level) :: rest ->
+          let coarse_values = Array.make (Array.length level.coarse.col_idx) 0.0 in
+          {
+            level = Some level;
+            values;
+            trans_values = Array.make (Array.length values) 0.0;
+            x = Array.make pat.n 0.0;
+            block_weight = Array.make level.partition.Partition.n_coarse 0.0;
+            pat;
+          }
+          :: build level.coarse coarse_values rest
+    in
+    Array.of_list (build fine_pattern (Array.copy fine_csr.Sparse.Csr.values) levels)
+  in
+  let n_levels = Array.length workspaces in
+  let coarsest = workspaces.(n_levels - 1) in
+  let smoothing_sweeps = ref 0 in
+  (* dense GTH on the coarsest level *)
+  let solve_coarsest () =
+    let ws = coarsest in
+    let nc = ws.pat.n in
+    let dense = Linalg.Mat.create ~rows:nc ~cols:nc in
+    for i = 0 to nc - 1 do
+      for k = ws.pat.row_ptr.(i) to ws.pat.row_ptr.(i + 1) - 1 do
+        Linalg.Mat.set dense i ws.pat.col_idx.(k) ws.values.(k)
+      done
+    done;
+    let pi = Gth.solve_dense dense in
+    Array.blit pi 0 ws.x 0 nc
+  in
+  let rec cycle l =
+    let ws = workspaces.(l) in
+    if l = n_levels - 1 then solve_coarsest ()
+    else begin
+      let level = Option.get ws.level in
+      scatter_transpose ws.pat ws.values ws.trans_values;
+      gauss_seidel_sweeps ws.pat ws.trans_values ws.x pre_smooth;
+      if l = 0 then smoothing_sweeps := !smoothing_sweeps + pre_smooth;
+      let next = workspaces.(l + 1) in
+      aggregate level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
+        ~block_weight:ws.block_weight;
+      (* restrict the iterate *)
+      Array.fill next.x 0 (Array.length next.x) 0.0;
+      Array.iteri
+        (fun i x -> next.x.(level.partition.Partition.map.(i)) <- next.x.(level.partition.Partition.map.(i)) +. x)
+        ws.x;
+      cycle (l + 1);
+      (* multiplicative prolongation using the pre-recursion block weights *)
+      for i = 0 to ws.pat.n - 1 do
+        let b = level.partition.Partition.map.(i) in
+        let bw = ws.block_weight.(b) in
+        ws.x.(i) <-
+          (if bw > 0.0 then next.x.(b) *. ws.x.(i) /. bw
+           else next.x.(b) /. float_of_int level.block_sizes.(b))
+      done;
+      let s = Linalg.Vec.sum ws.x in
+      if s > 0.0 then Linalg.Vec.scale_in_place (1.0 /. s) ws.x;
+      gauss_seidel_sweeps ws.pat ws.trans_values ws.x post_smooth;
+      if l = 0 then smoothing_sweeps := !smoothing_sweeps + post_smooth
+    end
+  in
+  let x0 = workspaces.(0).x in
+  (match init with
+  | Some v ->
+      Array.blit v 0 x0 0 n;
+      Linalg.Vec.normalize_l1 x0
+  | None -> Array.fill x0 0 n (1.0 /. float_of_int n));
+  let cycles = ref 0 in
+  let continue_ = ref (n > 0) in
+  while !continue_ && !cycles < max_cycles do
+    cycle 0;
+    incr cycles;
+    if Chain.residual chain x0 <= tol then continue_ := false
+  done;
+  let solution = Solution.make ~chain ~pi:(Array.copy x0) ~iterations:!cycles ~tol in
+  ( solution,
+    {
+      cycles = !cycles;
+      levels = n_levels;
+      coarsest_size = coarsest.pat.n;
+      smoothing_sweeps = !smoothing_sweeps;
+    } )

@@ -1,0 +1,38 @@
+(** Multilevel aggregation ("algebraic multigrid for Markov chains",
+    Horton–Leutenegger) — the paper's dedicated solver for the very large
+    CDR chains.
+
+    The caller supplies a coarsening hierarchy: a list of {!Partition.t}
+    where the first partitions the fine chain, the second partitions the
+    result of the first, and so on. The CDR model supplies the structured
+    hierarchy that halves the phase-error grid at every level; a generic
+    {!default_hierarchy} (pairing consecutive states) is available for
+    arbitrary chains.
+
+    Each V-cycle: pre-smooth (Gauss-Seidel), coarsen with the smoothed
+    iterate as weights, recurse, multiplicative disaggregation, post-smooth.
+    The coarsest level — first level at or below {!Gth.max_direct_size}
+    states, or the end of the hierarchy — is solved exactly with GTH. *)
+
+type stats = {
+  cycles : int; (* V-cycles performed *)
+  levels : int; (* levels including the finest and the coarsest *)
+  coarsest_size : int;
+  smoothing_sweeps : int; (* total fine-level Gauss-Seidel sweeps *)
+}
+
+val default_hierarchy : n:int -> coarsest:int -> Partition.t list
+(** Pair consecutive states until [coarsest] (or fewer) states remain. *)
+
+val solve :
+  ?tol:float ->
+  ?max_cycles:int ->
+  ?pre_smooth:int ->
+  ?post_smooth:int ->
+  ?init:Linalg.Vec.t ->
+  hierarchy:Partition.t list ->
+  Chain.t ->
+  Solution.t * stats
+(** Defaults: [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
+    [post_smooth = 2]. Raises [Invalid_argument] when the hierarchy sizes do
+    not chain up with the fine chain. *)

@@ -1,0 +1,53 @@
+type t = { map : int array; n_fine : int; n_coarse : int }
+
+let create map =
+  let n_fine = Array.length map in
+  if n_fine = 0 then { map; n_fine = 0; n_coarse = 0 }
+  else begin
+    let max_label = Array.fold_left max 0 map in
+    Array.iter (fun b -> if b < 0 then invalid_arg "Partition.create: negative block label") map;
+    let seen = Array.make (max_label + 1) false in
+    Array.iter (fun b -> seen.(b) <- true) map;
+    if not (Array.for_all Fun.id seen) then
+      invalid_arg "Partition.create: block labels are not contiguous from 0";
+    { map = Array.copy map; n_fine; n_coarse = max_label + 1 }
+  end
+
+let identity n = create (Array.init n Fun.id)
+
+let pair_consecutive n = create (Array.init n (fun i -> i / 2))
+
+let block t i = t.map.(i)
+
+let block_size t b =
+  let count = ref 0 in
+  Array.iter (fun b' -> if b = b' then incr count) t.map;
+  !count
+
+let blocks t =
+  let members = Array.make t.n_coarse [] in
+  for i = t.n_fine - 1 downto 0 do
+    members.(t.map.(i)) <- i :: members.(t.map.(i))
+  done;
+  members
+
+let compose fine coarse =
+  if fine.n_coarse <> coarse.n_fine then invalid_arg "Partition.compose: size mismatch";
+  create (Array.map (fun b -> coarse.map.(b)) fine.map)
+
+let restrict t x =
+  if Array.length x <> t.n_fine then invalid_arg "Partition.restrict: dimension mismatch";
+  let out = Array.make t.n_coarse 0.0 in
+  Array.iteri (fun i v -> out.(t.map.(i)) <- out.(t.map.(i)) +. v) x;
+  out
+
+let prolong t ~coarse ~weights =
+  if Array.length coarse <> t.n_coarse then invalid_arg "Partition.prolong: coarse dimension";
+  if Array.length weights <> t.n_fine then invalid_arg "Partition.prolong: weights dimension";
+  let block_weight = restrict t weights in
+  let sizes = Array.make t.n_coarse 0 in
+  Array.iter (fun b -> sizes.(b) <- sizes.(b) + 1) t.map;
+  Array.init t.n_fine (fun i ->
+      let b = t.map.(i) in
+      if block_weight.(b) > 0.0 then coarse.(b) *. weights.(i) /. block_weight.(b)
+      else coarse.(b) /. float_of_int sizes.(b))

@@ -1,0 +1,37 @@
+(** State-space partitions (lumping maps) for aggregation and multigrid.
+
+    A partition of [n] fine states into [m] blocks is stored as a surjective
+    map [fine -> block]. *)
+
+type t = private { map : int array; n_fine : int; n_coarse : int }
+
+val create : int array -> t
+(** [create map] validates that block labels are exactly [0 .. max]
+    (surjective, non-negative). Raises [Invalid_argument] otherwise. *)
+
+val identity : int -> t
+
+val pair_consecutive : int -> t
+(** [pair_consecutive n] lumps states [2k] and [2k+1] (the last state stays
+    alone when [n] is odd) — the generic version of the paper's "lump the two
+    states corresponding to consecutive discretized phase error values". *)
+
+val block : t -> int -> int
+(** Block of a fine state. *)
+
+val block_size : t -> int -> int
+
+val blocks : t -> int list array
+(** Members of each block, ascending. *)
+
+val compose : t -> t -> t
+(** [compose fine coarse] first applies [fine] (n -> m) then [coarse]
+    (m -> k), yielding an n -> k partition. *)
+
+val restrict : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Sum fine entries within each block (the aggregation operator). *)
+
+val prolong : t -> coarse:Linalg.Vec.t -> weights:Linalg.Vec.t -> Linalg.Vec.t
+(** Disaggregation: distribute each block's coarse mass over its members
+    proportionally to [weights] (uniformly within a block whose weight
+    vanishes). *)

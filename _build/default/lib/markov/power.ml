@@ -1,0 +1,30 @@
+let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init chain =
+  let pi = ref (match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain) in
+  Linalg.Vec.normalize_l1 !pi;
+  let next = Linalg.Vec.create (Chain.n_states chain) in
+  let scratch = ref next in
+  let iterations = ref 0 in
+  let continue_ = ref (Chain.n_states chain > 0) in
+  while !continue_ && !iterations < max_iter do
+    Chain.step_into chain !pi !scratch;
+    Linalg.Vec.normalize_l1 !scratch;
+    let diff = Linalg.Vec.dist_l1 !scratch !pi in
+    let tmp = !pi in
+    pi := !scratch;
+    scratch := tmp;
+    incr iterations;
+    if diff <= tol then continue_ := false
+  done;
+  Solution.make ~chain ~pi:!pi ~iterations:!iterations ~tol
+
+let sweeps chain pi n =
+  let cur = ref (Linalg.Vec.copy pi) in
+  let other = ref (Linalg.Vec.create (Linalg.Vec.dim pi)) in
+  for _ = 1 to n do
+    Chain.step_into chain !cur !other;
+    Linalg.Vec.normalize_l1 !other;
+    let tmp = !cur in
+    cur := !other;
+    other := tmp
+  done;
+  !cur

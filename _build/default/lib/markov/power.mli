@@ -1,0 +1,12 @@
+(** Power iteration: [pi <- pi P] until stationary.
+
+    Converges at the rate of the subdominant eigenvalue modulus; slow on the
+    stiff CDR chains (that is the point of the multigrid method) but simple,
+    robust, and the smoother used inside the multilevel cycles. *)
+
+val solve : ?tol:float -> ?max_iter:int -> ?init:Linalg.Vec.t -> Chain.t -> Solution.t
+(** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform]. *)
+
+val sweeps : Chain.t -> Linalg.Vec.t -> int -> Linalg.Vec.t
+(** [sweeps c pi n] applies [n] normalized power steps (used as multigrid
+    smoothing); returns a fresh vector. *)

@@ -1,0 +1,9 @@
+type t = { pi : Linalg.Vec.t; iterations : int; residual : float; converged : bool }
+
+let make ~chain ~pi ~iterations ~tol =
+  Linalg.Vec.normalize_l1 pi;
+  let residual = Chain.residual chain pi in
+  { pi; iterations; residual; converged = residual <= tol }
+
+let pp ppf t =
+  Format.fprintf ppf "iterations=%d residual=%.3e converged=%b" t.iterations t.residual t.converged

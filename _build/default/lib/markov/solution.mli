@@ -1,0 +1,14 @@
+(** Common result type for the stationary-distribution solvers. *)
+
+type t = {
+  pi : Linalg.Vec.t; (* l1-normalized stationary iterate *)
+  iterations : int; (* sweeps / cycles performed *)
+  residual : float; (* ||pi P - pi||_1 at exit *)
+  converged : bool;
+}
+
+val make : chain:Chain.t -> pi:Linalg.Vec.t -> iterations:int -> tol:float -> t
+(** Normalizes [pi], measures the residual against [chain] and fills in the
+    convergence flag. *)
+
+val pp : Format.formatter -> t -> unit

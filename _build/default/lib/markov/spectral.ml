@@ -1,0 +1,52 @@
+type estimate = { modulus : float; iterations : int; converged : bool; mixing_time : float }
+
+(* Deflated power iteration on A = P^T: the dominant eigenpair of A is
+   (1, pi) with left eigenvector 1 (the all-ones vector); projecting the
+   iterate onto the complement of span(pi) with the oblique projector
+   [x <- x - (1^T x) pi] removes the lambda = 1 component exactly (since
+   1^T pi = 1), leaving the subdominant mode to dominate. *)
+let subdominant ?(tol = 1e-8) ?(max_iter = 50_000) ?pi chain =
+  let n = Chain.n_states chain in
+  if n < 2 then { modulus = 0.0; iterations = 0; converged = true; mixing_time = 0.0 }
+  else begin
+    let pi = match pi with Some p -> p | None -> (Power.solve ~tol:1e-13 chain).Solution.pi in
+    let pt = Sparse.Csr.transpose (Chain.tpm chain) in
+    let deflate x =
+      let mass = Linalg.Vec.sum x in
+      Linalg.Vec.axpy ~alpha:(-.mass) ~x:pi ~y:x
+    in
+    (* deterministic non-trivial start: alternate signs, deflated *)
+    let x = ref (Array.init n (fun i -> if i mod 2 = 0 then 1.0 else -1.0)) in
+    deflate !x;
+    let norm0 = Linalg.Vec.nrm2 !x in
+    if norm0 = 0.0 then { modulus = 0.0; iterations = 0; converged = true; mixing_time = 0.0 }
+    else begin
+      Linalg.Vec.scale_in_place (1.0 /. norm0) !x;
+      let modulus = ref 0.0 in
+      let iterations = ref 0 in
+      let converged = ref false in
+      while (not !converged) && !iterations < max_iter do
+        let y = Sparse.Csr.mul_vec pt !x in
+        deflate y;
+        let norm = Linalg.Vec.nrm2 y in
+        incr iterations;
+        if norm = 0.0 || not (Float.is_finite norm) then begin
+          modulus := 0.0;
+          converged := true
+        end
+        else begin
+          Linalg.Vec.scale_in_place (1.0 /. norm) y;
+          x := y;
+          if abs_float (norm -. !modulus) <= tol *. Float.max 1.0 norm then converged := true;
+          modulus := norm
+        end
+      done;
+      let modulus = Float.min !modulus 1.0 in
+      let mixing_time =
+        if modulus <= 0.0 then 0.0
+        else if modulus >= 1.0 then Float.infinity
+        else -1.0 /. log modulus
+      in
+      { modulus; iterations = !iterations; converged = !converged; mixing_time }
+    end
+  end

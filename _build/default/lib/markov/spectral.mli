@@ -1,0 +1,19 @@
+(** Spectral diagnostics: the subdominant eigenvalue modulus of the TPM.
+
+    The convergence rate of every one-level iterative method — and the
+    mixing time of the chain itself — is governed by the magnitude of the
+    second-largest eigenvalue; it is what makes fine-grid low-noise CDR
+    chains "stiff" and motivates the multigrid solver. Estimated by power
+    iteration on [P^T] deflated against the known dominant pair
+    (right eigenvector 1, left eigenvector pi). *)
+
+type estimate = {
+  modulus : float; (* |lambda_2| *)
+  iterations : int;
+  converged : bool;
+  mixing_time : float; (* -1 / ln |lambda_2|, steps to contract by e *)
+}
+
+val subdominant : ?tol:float -> ?max_iter:int -> ?pi:Linalg.Vec.t -> Chain.t -> estimate
+(** [pi] defaults to a fresh {!Power.solve}. Defaults: [tol = 1e-8] on the
+    successive-modulus difference, [max_iter = 50_000]. *)

@@ -1,0 +1,72 @@
+type method_ = Jacobi | Gauss_seidel | Sor of float
+
+(* diagonal of P extracted from its transpose's rows *)
+let diagonal pt =
+  Array.init (Sparse.Csr.rows pt) (fun i -> Sparse.Csr.get pt i i)
+
+let denominators diag =
+  Array.map
+    (fun d ->
+      let denom = 1.0 -. d in
+      (* a self-loop probability of 1 means an absorbing state; clamp to keep
+         the sweep finite, irreducibility checks catch the modeling error *)
+      if denom < 1e-300 then 1e-300 else denom)
+    diag
+
+let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init chain =
+  (match method_ with
+  | Sor omega when omega <= 0.0 || omega >= 2.0 ->
+      invalid_arg "Splitting.solve: SOR omega must lie in (0, 2)"
+  | Jacobi | Gauss_seidel | Sor _ -> ());
+  let pt = Sparse.Csr.transpose (Chain.tpm chain) in
+  let diag = diagonal pt in
+  let denom = denominators diag in
+  let n = Chain.n_states chain in
+  let x = match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain in
+  Linalg.Vec.normalize_l1 x;
+  let prev = Linalg.Vec.create n in
+  let iterations = ref 0 in
+  let continue_ = ref (n > 0) in
+  while !continue_ && !iterations < max_iter do
+    Array.blit x 0 prev 0 n;
+    (match method_ with
+    | Jacobi ->
+        (* y = P^T x computed against the frozen previous iterate; the sweep
+           is damped by 1/2 because pure Jacobi has iteration-matrix spectrum
+           touching -1 on periodic chains (it oscillates instead of
+           converging); damping maps the spectrum into the unit disk *)
+        let y = Sparse.Csr.mul_vec pt prev in
+        for i = 0 to n - 1 do
+          let jacobi_value = (y.(i) -. (diag.(i) *. prev.(i))) /. denom.(i) in
+          x.(i) <- 0.5 *. (prev.(i) +. jacobi_value)
+        done
+    | Gauss_seidel ->
+        for i = 0 to n - 1 do
+          let acc = ref 0.0 in
+          Sparse.Csr.iter_row pt i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
+          x.(i) <- !acc /. denom.(i)
+        done
+    | Sor omega ->
+        for i = 0 to n - 1 do
+          let acc = ref 0.0 in
+          Sparse.Csr.iter_row pt i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
+          x.(i) <- ((1.0 -. omega) *. x.(i)) +. (omega *. !acc /. denom.(i))
+        done);
+    Linalg.Vec.normalize_l1 x;
+    incr iterations;
+    if Linalg.Vec.dist_l1 x prev <= tol then continue_ := false
+  done;
+  Solution.make ~chain ~pi:x ~iterations:!iterations ~tol
+
+let sweeps_gauss_seidel ~transposed x n_sweeps =
+  let n = Linalg.Vec.dim x in
+  let diag = diagonal transposed in
+  let denom = denominators diag in
+  for _ = 1 to n_sweeps do
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 in
+      Sparse.Csr.iter_row transposed i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
+      x.(i) <- !acc /. denom.(i)
+    done;
+    Linalg.Vec.normalize_l1 x
+  done

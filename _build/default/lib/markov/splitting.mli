@@ -1,0 +1,29 @@
+(** Classical matrix splittings for the singular system [pi (I - P) = 0].
+
+    Working on the transposed system [(I - P^T) x = 0], the Jacobi,
+    Gauss-Seidel and SOR sweeps all compute, for each state [i],
+
+    [x_i <- ( sum_{j<>i} P_ji x_j ) / (1 - P_ii)]
+
+    differing only in which iterate supplies the [x_j] (previous for Jacobi,
+    freshest available for Gauss-Seidel) and in the relaxation blend (SOR).
+    See W. J. Stewart, "Introduction to the Numerical Solution of Markov
+    Chains" (the paper's reference [4]). *)
+
+type method_ = Jacobi | Gauss_seidel | Sor of float
+(** [Jacobi] is damped by 1/2 (pure Jacobi oscillates on periodic chains);
+    [Sor omega] requires [0 < omega < 2]. *)
+
+val solve :
+  method_:method_ ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init:Linalg.Vec.t ->
+  Chain.t ->
+  Solution.t
+(** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform].
+    Raises [Invalid_argument] for an out-of-range SOR parameter. *)
+
+val sweeps_gauss_seidel : transposed:Sparse.Csr.t -> Linalg.Vec.t -> int -> unit
+(** In-place Gauss-Seidel smoothing given the pre-transposed TPM; used by the
+    multigrid cycle where the transpose is computed once per level. *)

@@ -1,0 +1,49 @@
+let expectation ~pi ~f =
+  let acc = ref 0.0 and c = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let v = (p *. f i) -. !c in
+      let t = !acc +. v in
+      c := t -. !acc -. v;
+      acc := t)
+    pi;
+  !acc
+
+let variance ~pi ~f =
+  let mean = expectation ~pi ~f in
+  expectation ~pi ~f:(fun i ->
+      let d = f i -. mean in
+      d *. d)
+
+let autocovariance chain ~pi ~f ~lags =
+  if lags < 0 then invalid_arg "Stat.autocovariance: negative lags";
+  let n = Chain.n_states chain in
+  if Array.length pi <> n then invalid_arg "Stat.autocovariance: dimension mismatch";
+  let mean = expectation ~pi ~f in
+  let fvec = Array.init n f in
+  let r = Array.make (lags + 1) 0.0 in
+  (* g_k = P^k f (column vector): E[f(X_0) f(X_k)] = sum_i pi_i f_i g_k(i) *)
+  let g = ref (Array.copy fvec) in
+  for k = 0 to lags do
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (pi.(i) *. fvec.(i) *. !g.(i))
+    done;
+    r.(k) <- !acc -. (mean *. mean);
+    if k < lags then g := Sparse.Csr.mul_vec (Chain.tpm chain) !g
+  done;
+  r
+
+let autocorrelation chain ~pi ~f ~lags =
+  let r = autocovariance chain ~pi ~f ~lags in
+  if r.(0) <= 0.0 then Array.map (fun _ -> 0.0) r else Array.map (fun v -> v /. r.(0)) r
+
+let marginal ~pi ~label ~n_labels =
+  let out = Array.make n_labels 0.0 in
+  Array.iteri
+    (fun i p ->
+      let b = label i in
+      if b < 0 || b >= n_labels then invalid_arg "Stat.marginal: label out of range";
+      out.(b) <- out.(b) +. p)
+    pi;
+  out

@@ -1,0 +1,21 @@
+(** Statistics of functions defined on the states of a chain — the
+    "computation of other performance quantities such as the autocorrelation
+    of a function defined on the states of the MC" enabled once the
+    stationary vector is known. *)
+
+val expectation : pi:Linalg.Vec.t -> f:(int -> float) -> float
+
+val variance : pi:Linalg.Vec.t -> f:(int -> float) -> float
+
+val autocovariance : Chain.t -> pi:Linalg.Vec.t -> f:(int -> float) -> lags:int -> float array
+(** [autocovariance c ~pi ~f ~lags] returns [r] of length [lags + 1] with
+    [r.(k) = E[f(X_0) f(X_k)] - E[f]^2] under stationarity, computed with [k]
+    successive TPM-vector products. *)
+
+val autocorrelation : Chain.t -> pi:Linalg.Vec.t -> f:(int -> float) -> lags:int -> float array
+(** Autocovariance normalized by [r.(0)]; all-zero when the variance
+    vanishes. *)
+
+val marginal : pi:Linalg.Vec.t -> label:(int -> int) -> n_labels:int -> Linalg.Vec.t
+(** Push the stationary distribution through a labeling (e.g. state ->
+    discretized phase error) to obtain the marginal pmf the paper plots. *)

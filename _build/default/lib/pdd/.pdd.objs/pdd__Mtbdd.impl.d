@@ -1,0 +1,1 @@
+lib/pdd/mtbdd.ml: Array Hashtbl Int64 Linalg Sparse

@@ -1,0 +1,1 @@
+lib/pdd/mtbdd.mli: Linalg Sparse

@@ -1,0 +1,314 @@
+(* Hash-consed MTBDDs. Variable order: row bit i is variable 2i, column bit
+   i is variable 2i+1, most significant bit first — the classic interleaved
+   order that keeps matrix quadrant structure local. Reduced form: a node
+   whose branches coincide is never constructed. *)
+
+type t = { id : int; node : node; mgr_id : int }
+
+and node = Terminal of float | Node of { var : int; low : t; high : t }
+
+type manager = {
+  mgr_id : int;
+  mutable next_id : int;
+  terminals : (int64, t) Hashtbl.t;
+  nodes : (int * int * int, t) Hashtbl.t;
+}
+
+let mgr_counter = ref 0
+
+let manager () =
+  incr mgr_counter;
+  { mgr_id = !mgr_counter; next_id = 0; terminals = Hashtbl.create 64; nodes = Hashtbl.create 256 }
+
+let check_mgr (mgr : manager) (t : t) =
+  if t.mgr_id <> mgr.mgr_id then invalid_arg "Mtbdd: diagram belongs to a different manager"
+
+let terminal mgr v =
+  let key = Int64.bits_of_float v in
+  match Hashtbl.find_opt mgr.terminals key with
+  | Some t -> t
+  | None ->
+      let t = { id = mgr.next_id; node = Terminal v; mgr_id = mgr.mgr_id } in
+      mgr.next_id <- mgr.next_id + 1;
+      Hashtbl.add mgr.terminals key t;
+      t
+
+let mk mgr var low high =
+  if low.id = high.id then low
+  else begin
+    let key = (var, low.id, high.id) in
+    match Hashtbl.find_opt mgr.nodes key with
+    | Some t -> t
+    | None ->
+        let t = { id = mgr.next_id; node = Node { var; low; high }; mgr_id = mgr.mgr_id } in
+        mgr.next_id <- mgr.next_id + 1;
+        Hashtbl.add mgr.nodes key t;
+        t
+  end
+
+let value t = match t.node with Terminal v -> Some v | Node _ -> None
+
+let node_count t =
+  let seen = Hashtbl.create 64 in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      match t.node with
+      | Terminal _ -> ()
+      | Node { low; high; _ } ->
+          go low;
+          go high
+    end
+  in
+  go t;
+  Hashtbl.length seen
+
+(* cofactors with respect to variable [var], handling skipped levels *)
+let cofactors t var =
+  match t.node with
+  | Node { var = v; low; high } when v = var -> (low, high)
+  | Terminal _ | Node _ -> (t, t)
+
+let top_var t = match t.node with Terminal _ -> max_int | Node { var; _ } -> var
+
+let apply mgr op a b =
+  check_mgr mgr a;
+  check_mgr mgr b;
+  let cache = Hashtbl.create 256 in
+  let rec go (a : t) (b : t) =
+    match Hashtbl.find_opt cache (a.id, b.id) with
+    | Some r -> r
+    | None ->
+        let r =
+          match (a.node, b.node) with
+          | Terminal x, Terminal y -> terminal mgr (op x y)
+          | _ ->
+              let var = min (top_var a) (top_var b) in
+              let a0, a1 = cofactors a var in
+              let b0, b1 = cofactors b var in
+              mk mgr var (go a0 b0) (go a1 b1)
+        in
+        Hashtbl.add cache (a.id, b.id) r;
+        r
+  in
+  go a b
+
+let scale mgr s t =
+  check_mgr mgr t;
+  let cache = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt cache t.id with
+    | Some r -> r
+    | None ->
+        let r =
+          match t.node with
+          | Terminal v -> terminal mgr (s *. v)
+          | Node { var; low; high } -> mk mgr var (go low) (go high)
+        in
+        Hashtbl.add cache t.id r;
+        r
+  in
+  go t
+
+let add mgr a b = apply mgr ( +. ) a b
+
+(* ----- vectors ----- *)
+
+let levels_for_length n =
+  if n <= 0 then invalid_arg "Mtbdd: empty vector";
+  let rec go levels size = if size >= n then levels else go (levels + 1) (size * 2) in
+  let levels = go 0 1 in
+  if 1 lsl levels <> n then invalid_arg "Mtbdd: length must be a power of two";
+  levels
+
+let vector_of_array mgr x =
+  let n = Array.length x in
+  let levels = levels_for_length n in
+  (* bottom-up over index ranges; row bit for level l is variable 2l,
+     most-significant first *)
+  let rec build level lo width =
+    if level = levels then terminal mgr x.(lo)
+    else
+      let half = width / 2 in
+      mk mgr (2 * level) (build (level + 1) lo half) (build (level + 1) (lo + half) half)
+  in
+  build 0 0 n
+
+let rec vector_get t levels index =
+  match t.node with
+  | Terminal v -> v
+  | Node { var; low; high } ->
+      (* var = 2l; levels skipped by reduction don't constrain the index *)
+      let l = var / 2 in
+      let bit = (index lsr (levels - 1 - l)) land 1 in
+      vector_get (if bit = 1 then high else low) levels index
+
+let vector_to_array mgr t ~levels =
+  check_mgr mgr t;
+  let n = 1 lsl levels in
+  Array.init n (fun i -> vector_get t levels i)
+
+let vector_sum mgr t ~levels =
+  check_mgr mgr t;
+  let cache = Hashtbl.create 64 in
+  (* sum over the subspace below [level], accounting for skipped variables *)
+  let rec go t level =
+    match Hashtbl.find_opt cache (t.id, level) with
+    | Some s -> s
+    | None ->
+        let s =
+          match t.node with
+          | Terminal v -> v *. float_of_int (1 lsl (levels - level))
+          | Node { var; low; high } ->
+              (* levels level .. l-1 are skipped (unconstrained): factor 2 each *)
+              let l = var / 2 in
+              float_of_int (1 lsl (l - level)) *. (go low (l + 1) +. go high (l + 1))
+        in
+        Hashtbl.add cache (t.id, level) s;
+        s
+  in
+  go t 0
+
+(* ----- matrices ----- *)
+
+let matrix_of_get mgr get n =
+  let levels = levels_for_length n in
+  (* recursive quadrant split: at level l, first the row bit (var 2l) then
+     the column bit (var 2l+1) *)
+  let rec build level rlo clo width =
+    if level = levels then terminal mgr (get rlo clo)
+    else begin
+      let half = width / 2 in
+      let quadrant rbit cbit =
+        build (level + 1) (rlo + (rbit * half)) (clo + (cbit * half)) half
+      in
+      let row0 = mk mgr ((2 * level) + 1) (quadrant 0 0) (quadrant 0 1) in
+      let row1 = mk mgr ((2 * level) + 1) (quadrant 1 0) (quadrant 1 1) in
+      mk mgr (2 * level) row0 row1
+    end
+  in
+  build 0 0 0 n
+
+let matrix_of_dense mgr m =
+  if Linalg.Mat.rows m <> Linalg.Mat.cols m then invalid_arg "Mtbdd: matrix not square";
+  matrix_of_get mgr (Linalg.Mat.get m) (Linalg.Mat.rows m)
+
+let matrix_of_csr mgr m =
+  if Sparse.Csr.rows m <> Sparse.Csr.cols m then invalid_arg "Mtbdd: matrix not square";
+  matrix_of_get mgr (Sparse.Csr.get m) (Sparse.Csr.rows m)
+
+let matrix_to_dense mgr t ~levels =
+  check_mgr mgr t;
+  let n = 1 lsl levels in
+  let out = Linalg.Mat.create ~rows:n ~cols:n in
+  (* walk by evaluating: variable 2l = row bit l, 2l+1 = col bit l *)
+  let rec get t r c =
+    match t.node with
+    | Terminal v -> v
+    | Node { var; low; high } ->
+        let l = var / 2 in
+        let bit =
+          if var mod 2 = 0 then (r lsr (levels - 1 - l)) land 1 else (c lsr (levels - 1 - l)) land 1
+        in
+        get (if bit = 1 then high else low) r c
+  in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      Linalg.Mat.set out r c (get t r c)
+    done
+  done;
+  out
+
+let shift_vars mgr offset t =
+  let cache = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt cache t.id with
+    | Some r -> r
+    | None ->
+        let r =
+          match t.node with
+          | Terminal _ -> t
+          | Node { var; low; high } -> mk mgr (var + offset) (go low) (go high)
+        in
+        Hashtbl.add cache t.id r;
+        r
+  in
+  go t
+
+let kron mgr ~levels_a a b =
+  check_mgr mgr a;
+  check_mgr mgr b;
+  let b_shifted = shift_vars mgr (2 * levels_a) b in
+  (* replace each terminal of a with terminal * b_shifted *)
+  let cache = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt cache t.id with
+    | Some r -> r
+    | None ->
+        let r =
+          match t.node with
+          | Terminal v -> scale mgr v b_shifted
+          | Node { var; low; high } -> mk mgr var (go low) (go high)
+        in
+        Hashtbl.add cache t.id r;
+        r
+  in
+  go a
+
+let mat_vec_mul mgr ~vec ~mat ~levels =
+  check_mgr mgr vec;
+  check_mgr mgr mat;
+  let cache = Hashtbl.create 256 in
+  (* y_c = sum_r v_r M(r, c); recursion over bit levels, result re-encoded on
+     the row variables *)
+  let rec go v m level =
+    match Hashtbl.find_opt cache (v.id, m.id, level) with
+    | Some r -> r
+    | None ->
+        let r =
+          if level = levels then
+            match (v.node, m.node) with
+            | Terminal a, Terminal b -> terminal mgr (a *. b)
+            | _ -> invalid_arg "Mtbdd.mat_vec_mul: diagram deeper than declared levels"
+          else begin
+            let v0, v1 = cofactors v (2 * level) in
+            let m_r0, m_r1 = cofactors m (2 * level) in
+            let m00, m01 = cofactors m_r0 ((2 * level) + 1) in
+            let m10, m11 = cofactors m_r1 ((2 * level) + 1) in
+            let low = add mgr (go v0 m00 (level + 1)) (go v1 m10 (level + 1)) in
+            let high = add mgr (go v0 m01 (level + 1)) (go v1 m11 (level + 1)) in
+            mk mgr (2 * level) low high
+          end
+        in
+        Hashtbl.add cache (v.id, m.id, level) r;
+        r
+  in
+  go vec mat 0
+
+let stationary mgr mat ~levels ?(tol = 1e-12) ?(max_iter = 10_000) () =
+  check_mgr mgr mat;
+  let n = 1 lsl levels in
+  (* stochasticity check through the all-ones vector: row sums are M 1^T;
+     with our row-vector convention compute 1 * M^T... simpler: expand row
+     sums by summing the product of the indicator vectors. Cheaper and
+     sufficient: check that a uniform distribution keeps total mass 1. *)
+  let uniform = terminal mgr (1.0 /. float_of_int n) in
+  let probe = mat_vec_mul mgr ~vec:uniform ~mat ~levels in
+  if abs_float (vector_sum mgr probe ~levels -. 1.0) > 1e-6 then
+    Error "matrix does not preserve probability mass on the 2^levels space"
+  else begin
+    let x = ref uniform in
+    let iterations = ref 0 in
+    let converged = ref false in
+    while (not !converged) && !iterations < max_iter do
+      let y = mat_vec_mul mgr ~vec:!x ~mat ~levels in
+      let mass = vector_sum mgr y ~levels in
+      let y = if abs_float (mass -. 1.0) > 1e-15 then scale mgr (1.0 /. mass) y else y in
+      incr iterations;
+      let diff = apply mgr (fun a b -> abs_float (a -. b)) y !x in
+      if vector_sum mgr diff ~levels <= tol then converged := true;
+      x := y
+    done;
+    if !converged then Ok (vector_to_array mgr !x ~levels, !iterations)
+    else Error "power iteration did not converge"
+  end

@@ -1,0 +1,75 @@
+(** Multi-terminal binary decision diagrams over probabilities.
+
+    The paper's outlook cites Bozga–Maler ("On the Representation of
+    Probabilities over Structured Domains", CAV'99): represent the huge
+    transition probability matrices symbolically, as decision diagrams, so
+    that structure (products of components, repeated blocks) is shared
+    instead of enumerated. This module implements the core machinery:
+
+    - hash-consed MTBDD nodes with float terminals;
+    - pointwise {!apply} with memoization;
+    - square matrices of dimension [2^k] encoded over interleaved
+      row/column bit variables (row bit [i] = variable [2i], column bit
+      [i] = variable [2i+1]), vectors over the row variables;
+    - symbolic Kronecker product — a product chain's TPM costs the *sum*,
+      not the product, of its factors' node counts;
+    - matrix–vector products and power iteration performed directly on the
+      diagrams.
+
+    All diagrams live in an explicit {!manager} (the hash-consing arena);
+    mixing diagrams from different managers raises. *)
+
+type manager
+
+type t
+(** An MTBDD rooted in some manager. *)
+
+val manager : unit -> manager
+
+val terminal : manager -> float -> t
+
+val value : t -> float option
+(** [Some v] when the diagram is a single terminal. *)
+
+val node_count : t -> int
+(** Distinct reachable nodes (terminals included) — the compression
+    metric. *)
+
+val apply : manager -> (float -> float -> float) -> t -> t -> t
+(** Pointwise combination; memoized per call. The operator is applied to
+    terminal pairs. *)
+
+val scale : manager -> float -> t -> t
+
+val add : manager -> t -> t -> t
+
+(* ----- vectors (over row variables) ----- *)
+
+val vector_of_array : manager -> Linalg.Vec.t -> t
+(** Length must be a power of two. *)
+
+val vector_to_array : manager -> t -> levels:int -> Linalg.Vec.t
+
+val vector_sum : manager -> t -> levels:int -> float
+
+(* ----- matrices (over interleaved row/column variables) ----- *)
+
+val matrix_of_dense : manager -> Linalg.Mat.t -> t
+(** Square, power-of-two dimension. *)
+
+val matrix_of_csr : manager -> Sparse.Csr.t -> t
+
+val matrix_to_dense : manager -> t -> levels:int -> Linalg.Mat.t
+
+val kron : manager -> levels_a:int -> t -> t -> t
+(** [kron mgr ~levels_a a b]: symbolic Kronecker product; [a] uses bit
+    levels [0 .. levels_a - 1], [b]'s variables are shifted behind them. *)
+
+val mat_vec_mul : manager -> vec:t -> mat:t -> levels:int -> t
+(** [x * M] (row vector times matrix), result again over row variables. *)
+
+val stationary :
+  manager -> t -> levels:int -> ?tol:float -> ?max_iter:int -> unit -> (Linalg.Vec.t * int, string) result
+(** Power iteration entirely on diagrams; the result is expanded to a dense
+    vector at the end. [Error] when the matrix is not stochastic on its
+    [2^levels] space or iteration fails to converge. *)

@@ -1,0 +1,1 @@
+lib/prob/gaussian.ml: Float Pmf

@@ -1,0 +1,1 @@
+lib/prob/jitter.ml: Array Float Pmf

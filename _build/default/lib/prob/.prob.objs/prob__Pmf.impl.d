@@ -1,0 +1,1 @@
+lib/prob/pmf.ml: Array Float Format Hashtbl List Option Printf

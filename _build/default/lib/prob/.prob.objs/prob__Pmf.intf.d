@@ -1,0 +1,1 @@
+lib/prob/pmf.mli: Format

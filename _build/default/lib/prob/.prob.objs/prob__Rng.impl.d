@@ -1,0 +1,1 @@
+lib/prob/rng.ml: Float Int64 Pmf

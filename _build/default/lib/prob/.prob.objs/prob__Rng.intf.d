@@ -1,0 +1,1 @@
+lib/prob/rng.mli: Pmf

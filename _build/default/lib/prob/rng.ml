@@ -1,0 +1,90 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable cached_gaussian : float option; (* Box-Muller produces pairs *)
+}
+
+(* splitmix64: expands one 64-bit seed into well-distributed state words *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_gaussian = None }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+
+let float t =
+  (* top 53 bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free for our purposes: modulo bias negligible for bound << 2^64,
+     but use rejection anyway for exactness *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) Int64.max_int in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t ~mean ~sigma =
+  match t.cached_gaussian with
+  | Some z ->
+      t.cached_gaussian <- None;
+      mean +. (sigma *. z)
+  | None ->
+      let rec draw_u () =
+        let u = float t in
+        if u > 0.0 then u else draw_u ()
+      in
+      let u1 = draw_u () and u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.cached_gaussian <- Some (r *. sin theta);
+      mean +. (sigma *. r *. cos theta)
+
+let pmf t d =
+  let u = float t in
+  let acc = ref 0.0 in
+  let chosen = ref None in
+  Pmf.iter d (fun label w ->
+      if !chosen = None then begin
+        acc := !acc +. w;
+        if u < !acc then chosen := Some label
+      end);
+  (* rounding can leave u just above the accumulated total; fall back to the
+     last atom *)
+  match !chosen with Some label -> label | None -> Pmf.max_support d

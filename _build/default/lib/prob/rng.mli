@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generation for the Monte-Carlo
+    baseline: xoshiro256++ seeded through splitmix64, Box–Muller Gaussian
+    variates, and categorical sampling from {!Pmf.t}.
+
+    Self-contained so that simulation results are reproducible across OCaml
+    versions (the stdlib [Random] algorithm is not pinned). *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** An independent stream derived from (and advancing) the parent. *)
+
+val bits64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> sigma:float -> float
+
+val pmf : t -> Pmf.t -> int
+(** Sample a label with the pmf's probabilities (inverse-cdf walk). *)

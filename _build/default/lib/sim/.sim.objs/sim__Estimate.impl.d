@@ -1,0 +1,1 @@
+lib/sim/estimate.ml: Float

@@ -1,0 +1,1 @@
+lib/sim/transient.ml: Array Cdr Fsm Prob

@@ -1,0 +1,1 @@
+lib/sim/transient.mli: Cdr

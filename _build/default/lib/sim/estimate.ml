@@ -1,0 +1,33 @@
+type interval = { lower : float; upper : float }
+
+let check ~errors ~bits =
+  if bits <= 0 then invalid_arg "Estimate: bits must be positive";
+  if errors < 0 || errors > bits then invalid_arg "Estimate: errors out of [0, bits]"
+
+let point_estimate ~errors ~bits =
+  check ~errors ~bits;
+  float_of_int errors /. float_of_int bits
+
+let wilson ?(z = 1.96) ~errors ~bits () =
+  check ~errors ~bits;
+  let n = float_of_int bits in
+  let p = float_of_int errors /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+  { lower = Float.max 0.0 (center -. half); upper = Float.min 1.0 (center +. half) }
+
+let required_bits ~ber ?(relative_error = 0.1) ?(z = 1.96) () =
+  if ber <= 0.0 || ber >= 1.0 then invalid_arg "Estimate.required_bits: ber out of (0, 1)";
+  if relative_error <= 0.0 then invalid_arg "Estimate.required_bits: relative_error must be positive";
+  z *. z *. (1.0 -. ber) /. (relative_error *. relative_error *. ber)
+
+let observed_vs_expected ~errors ~bits ~ber =
+  check ~errors ~bits;
+  if ber < 0.0 || ber > 1.0 then invalid_arg "Estimate.observed_vs_expected: ber out of [0, 1]";
+  let n = float_of_int bits in
+  let mean = n *. ber in
+  let sd = sqrt (n *. ber *. (1.0 -. ber)) in
+  if sd = 0.0 then if float_of_int errors = mean then 0.0 else Float.infinity
+  else abs_float ((float_of_int errors -. mean) /. sd)

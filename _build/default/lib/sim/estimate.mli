@@ -1,0 +1,23 @@
+(** Statistical estimation around the Monte-Carlo baseline: how good (or
+    hopeless) a simulated BER estimate is — quantifying the paper's opening
+    claim that straightforward simulation cannot verify 1e-14 error rates. *)
+
+type interval = { lower : float; upper : float }
+
+val point_estimate : errors:int -> bits:int -> float
+
+val wilson : ?z:float -> errors:int -> bits:int -> unit -> interval
+(** Wilson score interval for a binomial proportion (default [z = 1.96],
+    i.e. 95%). Well-behaved at zero observed errors, unlike the normal
+    approximation. *)
+
+val required_bits : ber:float -> ?relative_error:float -> ?z:float -> unit -> float
+(** Bits one must simulate so that the Monte-Carlo estimator of a true error
+    rate [ber] has the requested relative half-width (default 0.1 at 95%):
+    [n = z^2 (1-p) / (relative_error^2 p)]. For [ber = 1e-14] this is about
+    4e16 bits — the paper's infeasibility argument in one number. *)
+
+val observed_vs_expected : errors:int -> bits:int -> ber:float -> float
+(** Two-sided tail z-score of the observed error count against a predicted
+    BER (normal approximation to the binomial; used by cross-validation
+    tests to accept/reject agreement). *)

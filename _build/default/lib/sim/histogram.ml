@@ -1,0 +1,35 @@
+type t = { counts : int array; mutable total : int }
+
+let create ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  { counts = Array.make bins 0; total = 0 }
+
+let add t bin =
+  if bin < 0 || bin >= Array.length t.counts then invalid_arg "Histogram.add: bin out of range";
+  t.counts.(bin) <- t.counts.(bin) + 1;
+  t.total <- t.total + 1
+
+let count t bin =
+  if bin < 0 || bin >= Array.length t.counts then invalid_arg "Histogram.count: bin out of range";
+  t.counts.(bin)
+
+let total t = t.total
+
+let to_pmf t =
+  if t.total = 0 then invalid_arg "Histogram.to_pmf: empty histogram";
+  let n = float_of_int t.total in
+  Array.map (fun c -> float_of_int c /. n) t.counts
+
+let total_variation t reference =
+  if Array.length reference <> Array.length t.counts then
+    invalid_arg "Histogram.total_variation: dimension mismatch";
+  let pmf = to_pmf t in
+  0.5 *. Linalg.Vec.dist_l1 pmf reference
+
+let of_phase_trajectory cfg trajectory =
+  let t = create ~bins:cfg.Cdr.Config.grid_points in
+  Array.iter (fun bin -> add t bin) trajectory;
+  t
+
+let collect ?noise_model ?seed cfg ~bits =
+  of_phase_trajectory cfg (Transient.trajectory ?noise_model ?seed cfg ~bits)

@@ -1,0 +1,35 @@
+(** Empirical distributions collected from simulation — the bridge between
+    the Monte-Carlo baseline and the analytic stationary densities.
+
+    The headline use: simulate the loop, histogram the visited phase bins,
+    and measure the total-variation distance to the Markov chain's stationary
+    phase marginal. Agreement here validates the whole modeling chain
+    end-to-end. *)
+
+type t
+
+val create : bins:int -> t
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] for a bin out of range. *)
+
+val count : t -> int -> int
+
+val total : t -> int
+
+val to_pmf : t -> Linalg.Vec.t
+(** Normalized frequencies; raises [Invalid_argument] on an empty
+    histogram. *)
+
+val total_variation : t -> Linalg.Vec.t -> float
+(** TV distance between the empirical frequencies and a reference pmf of the
+    same length. *)
+
+val of_phase_trajectory : Cdr.Config.t -> int array -> t
+(** Histogram a phase-bin trajectory from {!Transient.trajectory}. *)
+
+val collect :
+  ?noise_model:[ `Continuous | `Discretized ] -> ?seed:int64 -> Cdr.Config.t -> bits:int -> t
+(** Run the simulator and histogram the visited phase bins. Use
+    [`Discretized] when comparing against the chain's stationary marginal
+    (same [n_w] model, no discretization bias). *)

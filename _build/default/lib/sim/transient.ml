@@ -1,0 +1,75 @@
+type outcome = {
+  bits : int;
+  errors : int;
+  transitions : int;
+  slips : int;
+  final_phase_bin : int;
+}
+
+type nw_model = Continuous | Discretized
+
+(* One simulation loop shared by both n_w models; reuses the Cdr component
+   step functions so simulator and chain semantics cannot drift apart. *)
+let simulate ~nw_model ?(seed = 0x5EEDL) cfg ~bits ~on_phase =
+  let cfg = Cdr.Config.create_exn cfg in
+  let rng = Prob.Rng.create ~seed in
+  let data_comp = Cdr.Data_source.component cfg in
+  let counter_comp = Cdr.Counter.component cfg in
+  let nw_pmf, nw_scale = Cdr.Config.nw_pmf cfg in
+  let delta = Cdr.Config.delta cfg in
+  let nr_pmf = cfg.Cdr.Config.nr in
+  let d0, c0, p0 = Cdr.Model.initial_state cfg in
+  let d = ref d0 and c = ref c0 and phase = ref p0 in
+  let errors = ref 0 and transitions = ref 0 and slips = ref 0 in
+  let coin p = if Prob.Rng.float rng < p then 1 else 0 in
+  for _ = 1 to bits do
+    on_phase !phase;
+    (* data bit: same coin wiring as the network *)
+    let c01 = coin cfg.Cdr.Config.p01 and c10 = coin cfg.Cdr.Config.p10 in
+    let d', data_out = data_comp.Fsm.Component.step !d [| c01; c10 |] in
+    let transition = data_out = Cdr.Data_source.output_transition in
+    if transition then incr transitions;
+    (* per-bit eye-opening jitter *)
+    let nw =
+      match nw_model with
+      | Continuous -> Prob.Rng.gaussian rng ~mean:0.0 ~sigma:cfg.Cdr.Config.sigma_w
+      | Discretized -> float_of_int (Prob.Rng.pmf rng nw_pmf * nw_scale) *. delta
+    in
+    let phi = Cdr.Config.phase_of_bin cfg !phase in
+    if abs_float (phi +. nw) > 0.5 then incr errors;
+    (* detector decision from the same sample *)
+    let pd_out =
+      let dz = float_of_int cfg.Cdr.Config.detector_dead_zone *. delta in
+      if not transition then Cdr.Phase_detector.Null
+      else if phi +. nw > dz then Cdr.Phase_detector.Lead
+      else if phi +. nw < -.dz then Cdr.Phase_detector.Lag
+      else Cdr.Phase_detector.Null
+    in
+    let c', cmd_int =
+      counter_comp.Fsm.Component.step !c [| Cdr.Phase_detector.output_to_int pd_out |]
+    in
+    let command = Cdr.Counter.command_of_int cmd_int in
+    let nr_bins = Prob.Rng.pmf rng nr_pmf in
+    let phase' = Cdr.Phase_error.next_bin cfg ~bin:!phase ~command ~nr_bins in
+    if Cdr.Phase_error.crosses_boundary cfg ~src:!phase ~dst:phase' then incr slips;
+    d := d';
+    c := c';
+    phase := phase'
+  done;
+  { bits; errors = !errors; transitions = !transitions; slips = !slips; final_phase_bin = !phase }
+
+let run ?seed cfg ~bits = simulate ~nw_model:Continuous ?seed cfg ~bits ~on_phase:(fun _ -> ())
+
+let run_discretized ?seed cfg ~bits =
+  simulate ~nw_model:Discretized ?seed cfg ~bits ~on_phase:(fun _ -> ())
+
+let trajectory ?(noise_model = `Continuous) ?seed cfg ~bits =
+  let nw_model = match noise_model with `Continuous -> Continuous | `Discretized -> Discretized in
+  let out = Array.make bits 0 in
+  let i = ref 0 in
+  let (_ : outcome) =
+    simulate ~nw_model ?seed cfg ~bits ~on_phase:(fun p ->
+        out.(!i) <- p;
+        incr i)
+  in
+  out

@@ -1,0 +1,29 @@
+(** Monte-Carlo transient simulation of the CDR loop — the "straightforward,
+    simulation based" baseline the paper argues cannot verify 1e-14 BERs.
+
+    The simulator runs the *same* behavioural model as the Markov analysis
+    but with continuous noise: [n_w] is drawn from the exact Gaussian (not
+    its discretization) and the phase error still lives on the grid so that
+    agreement with the chain is exact up to the [n_w] discretization. *)
+
+type outcome = {
+  bits : int; (* bit intervals simulated *)
+  errors : int; (* detection errors: |Phi + n_w| > 1/2 *)
+  transitions : int; (* data transitions observed *)
+  slips : int; (* cycle slips (phase wrap-arounds) *)
+  final_phase_bin : int;
+}
+
+val run : ?seed:int64 -> Cdr.Config.t -> bits:int -> outcome
+
+val run_discretized : ?seed:int64 -> Cdr.Config.t -> bits:int -> outcome
+(** Same loop but drawing [n_w] from the discretized pmf used by the chain —
+    the estimator whose expectation *is* the chain BER, used by the
+    cross-validation tests. *)
+
+val trajectory :
+  ?noise_model:[ `Continuous | `Discretized ] -> ?seed:int64 -> Cdr.Config.t -> bits:int -> int array
+(** Phase-error bin per bit interval (for eye-diagram style plots and
+    occupancy histograms). [`Discretized] (default [`Continuous]) draws [n_w]
+    from the chain's pmf, making the trajectory's stationary occupancy match
+    the chain's exactly. *)

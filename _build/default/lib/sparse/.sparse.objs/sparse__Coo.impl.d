@@ -1,0 +1,1 @@
+lib/sparse/coo.ml: Array Csr Printf

@@ -1,0 +1,1 @@
+lib/sparse/coo.mli: Csr

@@ -1,0 +1,1 @@
+lib/sparse/kron.ml: Coo Csr List

@@ -1,0 +1,1 @@
+lib/sparse/kron.mli: Csr

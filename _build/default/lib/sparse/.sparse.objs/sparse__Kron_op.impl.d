@@ -1,0 +1,1 @@
+lib/sparse/kron_op.ml: Array Csr Float Kron Linalg List

@@ -1,0 +1,1 @@
+lib/sparse/kron_op.mli: Csr Linalg

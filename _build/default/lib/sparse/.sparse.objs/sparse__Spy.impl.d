@@ -1,0 +1,1 @@
+lib/sparse/spy.ml: Array Buffer Csr Float Format

@@ -1,0 +1,1 @@
+lib/sparse/spy.mli: Csr Format

@@ -1,0 +1,84 @@
+type t = {
+  rows : int;
+  cols : int;
+  mutable len : int;
+  mutable ri : int array;
+  mutable ci : int array;
+  mutable vs : float array;
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Coo.create: negative dimension";
+  { rows; cols; len = 0; ri = Array.make 16 0; ci = Array.make 16 0; vs = Array.make 16 0.0 }
+
+let grow t =
+  let cap = Array.length t.ri in
+  if t.len = cap then begin
+    let ncap = 2 * cap in
+    let ri = Array.make ncap 0 and ci = Array.make ncap 0 and vs = Array.make ncap 0.0 in
+    Array.blit t.ri 0 ri 0 t.len;
+    Array.blit t.ci 0 ci 0 t.len;
+    Array.blit t.vs 0 vs 0 t.len;
+    t.ri <- ri;
+    t.ci <- ci;
+    t.vs <- vs
+  end
+
+let add t ~row ~col v =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg (Printf.sprintf "Coo.add: (%d,%d) out of %dx%d" row col t.rows t.cols);
+  grow t;
+  t.ri.(t.len) <- row;
+  t.ci.(t.len) <- col;
+  t.vs.(t.len) <- v;
+  t.len <- t.len + 1
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = t.len
+
+let to_csr t =
+  (* counting sort by row, then sort-and-merge each row by column *)
+  let row_counts = Array.make t.rows 0 in
+  for k = 0 to t.len - 1 do
+    row_counts.(t.ri.(k)) <- row_counts.(t.ri.(k)) + 1
+  done;
+  let starts = Array.make (t.rows + 1) 0 in
+  for i = 0 to t.rows - 1 do
+    starts.(i + 1) <- starts.(i) + row_counts.(i)
+  done;
+  let pos = Array.copy starts in
+  let ci = Array.make t.len 0 and vs = Array.make t.len 0.0 in
+  for k = 0 to t.len - 1 do
+    let i = t.ri.(k) in
+    ci.(pos.(i)) <- t.ci.(k);
+    vs.(pos.(i)) <- t.vs.(k);
+    pos.(i) <- pos.(i) + 1
+  done;
+  let row_ptr = Array.make (t.rows + 1) 0 in
+  let out_ci = Array.make t.len 0 and out_vs = Array.make t.len 0.0 in
+  let out = ref 0 in
+  for i = 0 to t.rows - 1 do
+    let lo = starts.(i) and hi = starts.(i + 1) in
+    let order = Array.init (hi - lo) (fun k -> lo + k) in
+    Array.sort (fun a b -> compare ci.(a) ci.(b)) order;
+    let k = ref 0 in
+    let len = Array.length order in
+    while !k < len do
+      let j = ci.(order.(!k)) in
+      let acc = ref 0.0 in
+      while !k < len && ci.(order.(!k)) = j do
+        acc := !acc +. vs.(order.(!k));
+        incr k
+      done;
+      if !acc <> 0.0 then begin
+        out_ci.(!out) <- j;
+        out_vs.(!out) <- !acc;
+        incr out
+      end
+    done;
+    row_ptr.(i + 1) <- !out
+  done;
+  Csr.unsafe_make ~rows:t.rows ~cols:t.cols ~row_ptr
+    ~col_idx:(Array.sub out_ci 0 !out)
+    ~values:(Array.sub out_vs 0 !out)

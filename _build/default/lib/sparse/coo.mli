@@ -1,0 +1,24 @@
+(** Mutable coordinate-format accumulator used to assemble sparse matrices.
+
+    Duplicate [(row, col)] entries are summed when the matrix is converted to
+    {!Csr.t}, which is the natural behaviour when accumulating transition
+    probabilities from several noise outcomes leading to the same successor
+    state. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+
+val add : t -> row:int -> col:int -> float -> unit
+(** Appends an entry. Raises [Invalid_argument] when the indices are out of
+    bounds. Zero values are kept (they disappear on conversion). *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+(** Number of stored triplets, duplicates included. *)
+
+val to_csr : t -> Csr.t
+(** Sorts, merges duplicates, drops exact zeros. *)

@@ -1,0 +1,67 @@
+(** Immutable compressed-sparse-row matrices.
+
+    The workhorse representation for Markov-chain transition probability
+    matrices: row-major storage matches both the compositional construction
+    (one reachable state at a time) and the [x -> x*P] products dominating the
+    stationary solvers. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+val unsafe_make :
+  rows:int -> cols:int -> row_ptr:int array -> col_idx:int array -> values:float array -> t
+(** Validates the structural invariants (monotone [row_ptr], in-range sorted
+    column indices) and raises [Invalid_argument] when violated. *)
+
+val of_dense : ?drop_tol:float -> Linalg.Mat.t -> t
+
+val to_dense : t -> Linalg.Mat.t
+
+val identity : int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** Binary search within the row; absent entries read as [0.]. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
+
+val mul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [mul_vec a x = a * x]. *)
+
+val vec_mul : Linalg.Vec.t -> t -> Linalg.Vec.t
+(** [vec_mul x a = x * a] (row vector times matrix); the kernel of power
+    iteration on a row-stochastic matrix. *)
+
+val vec_mul_into : Linalg.Vec.t -> t -> Linalg.Vec.t -> unit
+(** [vec_mul_into x a y] stores [x * a] into [y] without allocating. *)
+
+val transpose : t -> t
+
+val map : (float -> float) -> t -> t
+(** Structure-preserving map over stored values. *)
+
+val scale_rows : t -> Linalg.Vec.t -> t
+(** [scale_rows a d] multiplies row [i] by [d.(i)]. *)
+
+val row_sums : t -> Linalg.Vec.t
+
+val add : t -> t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line [rows x cols, nnz, fill, bandwidth] summary. *)

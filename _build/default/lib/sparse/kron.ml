@@ -1,0 +1,12 @@
+let product a b =
+  let ra = Csr.rows a and ca = Csr.cols a in
+  let rb = Csr.rows b and cb = Csr.cols b in
+  let acc = Coo.create ~rows:(ra * rb) ~cols:(ca * cb) in
+  Csr.iter a (fun ia ja va ->
+      Csr.iter b (fun ib jb vb ->
+          Coo.add acc ~row:((ia * rb) + ib) ~col:((ja * cb) + jb) (va *. vb)));
+  Coo.to_csr acc
+
+let product_list = function
+  | [] -> invalid_arg "Kron.product_list: empty list"
+  | m :: rest -> List.fold_left product m rest

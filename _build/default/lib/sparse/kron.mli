@@ -1,0 +1,14 @@
+(** Kronecker products of sparse matrices.
+
+    The paper represents the transition matrix of a network of FSMs as a
+    composition of small component matrices ("hierarchical Kronecker
+    algebra-like techniques"). [product a b] realizes the basic building
+    block: for independent chains with TPMs [a] and [b], the joint chain on
+    the product space has TPM [a ⊗ b], with the row index
+    [i_joint = i_a * rows(b) + i_b]. *)
+
+val product : Csr.t -> Csr.t -> Csr.t
+
+val product_list : Csr.t list -> Csr.t
+(** Left fold of {!product}; the singleton list is the identity case.
+    Raises [Invalid_argument] on the empty list. *)

@@ -1,0 +1,113 @@
+type term = { coeff : float; factors : Csr.t list }
+
+type t = { n : int; terms : term list }
+
+let term ?(coeff = 1.0) factors =
+  if factors = [] then invalid_arg "Kron_op.term: empty factor list";
+  List.iter
+    (fun f -> if Csr.rows f <> Csr.cols f then invalid_arg "Kron_op.term: factors must be square")
+    factors;
+  let n = List.fold_left (fun acc f -> acc * Csr.rows f) 1 factors in
+  { n; terms = [ { coeff; factors } ] }
+
+let sum = function
+  | [] -> invalid_arg "Kron_op.sum: empty list"
+  | first :: rest ->
+      List.fold_left
+        (fun acc op ->
+          if op.n <> acc.n then invalid_arg "Kron_op.sum: dimension mismatch";
+          { acc with terms = acc.terms @ op.terms })
+        first rest
+
+let dim op = op.n
+
+(* x * (I_l (x) A (x) I_r): view x as an (l, n, r) tensor and contract the
+   middle index against A's rows. *)
+let apply_middle ~l ~r a x y =
+  let n = Csr.rows a in
+  Array.fill y 0 (Array.length y) 0.0;
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j v ->
+        for blk = 0 to l - 1 do
+          let x_base = ((blk * n) + i) * r in
+          let y_base = ((blk * n) + j) * r in
+          for c = 0 to r - 1 do
+            y.(y_base + c) <- y.(y_base + c) +. (x.(x_base + c) *. v)
+          done
+        done)
+  done
+
+let apply_term t x =
+  let sizes = List.map Csr.rows t.factors in
+  let total = List.fold_left ( * ) 1 sizes in
+  if Array.length x <> total then invalid_arg "Kron_op.apply: dimension mismatch";
+  let cur = ref (Array.copy x) in
+  let scratch = ref (Array.make total 0.0) in
+  let left = ref 1 in
+  let right = ref total in
+  List.iter
+    (fun a ->
+      let n = Csr.rows a in
+      right := !right / n;
+      apply_middle ~l:!left ~r:!right a !cur !scratch;
+      let tmp = !cur in
+      cur := !scratch;
+      scratch := tmp;
+      left := !left * n)
+    t.factors;
+  if t.coeff <> 1.0 then Linalg.Vec.scale_in_place t.coeff !cur;
+  !cur
+
+let apply op x =
+  match op.terms with
+  | [] -> invalid_arg "Kron_op.apply: empty operator"
+  | first :: rest ->
+      let acc = apply_term first x in
+      List.iter
+        (fun t ->
+          let y = apply_term t x in
+          Linalg.Vec.axpy ~alpha:1.0 ~x:y ~y:acc)
+        rest;
+      acc
+
+let to_csr op =
+  let materialize_term t =
+    let k = Kron.product_list t.factors in
+    Csr.map (fun v -> t.coeff *. v) k
+  in
+  match op.terms with
+  | [] -> invalid_arg "Kron_op.to_csr: empty operator"
+  | first :: rest ->
+      List.fold_left (fun acc t -> Csr.add acc (materialize_term t)) (materialize_term first) rest
+
+let stationary ?(tol = 1e-12) ?(max_iter = 100_000) op =
+  let n = dim op in
+  if n = 0 then Error "empty operator"
+  else begin
+    (* stochasticity check through one application to the all-ones vector:
+       row sums of M are (M 1)^T; we only have x -> x M, so check 1 M = 1^T
+       is wrong (that is column sums). Instead apply to basis-free test:
+       row sums via the transpose trick is unavailable matrix-free, so check
+       that the all-ones *row* vector is preserved under the transpose
+       operator... we settle for checking mass preservation of a probe
+       distribution, which for non-negative operators characterizes row
+       sums 1 on the reachable support. *)
+    let probe = Array.make n (1.0 /. float_of_int n) in
+    let image = apply op probe in
+    if Array.exists (fun v -> v < -1e-12) image then Error "operator has negative entries"
+    else if abs_float (Linalg.Vec.sum image -. 1.0) > 1e-6 then
+      Error "operator does not preserve probability mass (not row-stochastic)"
+    else begin
+      let x = ref probe in
+      let iterations = ref 0 in
+      let residual = ref Float.infinity in
+      while !residual > tol && !iterations < max_iter do
+        let y = apply op !x in
+        Linalg.Vec.normalize_l1 y;
+        residual := Linalg.Vec.dist_l1 y !x;
+        x := y;
+        incr iterations
+      done;
+      Ok (!x, !iterations, !residual)
+    end
+  end

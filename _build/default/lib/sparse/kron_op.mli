@@ -1,0 +1,36 @@
+(** Matrix-free Kronecker-structured operators.
+
+    The paper's outlook for "more complex models" is to represent the
+    transition matrix with hierarchical generalized Kronecker algebra instead
+    of explicit sparse storage. This module provides the core primitive: the
+    vector-Kronecker-product ("shuffle") algorithm computing
+    [x (A_1 (x) A_2 (x) ... (x) A_k)] without ever forming the product
+    matrix — O(n * sum_i nnz_i / n_i) per application instead of
+    O(prod_i nnz_i). Sums of such terms model synchronizing events as in
+    stochastic automata networks (Plateau). *)
+
+type t
+(** A sum of scaled Kronecker terms, all with the same product dimensions. *)
+
+val term : ?coeff:float -> Csr.t list -> t
+(** One Kronecker term [coeff * A_1 (x) ... (x) A_k]. All factors must be
+    square; raises [Invalid_argument] otherwise or on the empty list. *)
+
+val sum : t list -> t
+(** Raises [Invalid_argument] on dimension mismatch or the empty list. *)
+
+val dim : t -> int
+
+val apply : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [apply op x = x * M] where [M] is the represented matrix. *)
+
+val to_csr : t -> Csr.t
+(** Materialize (for tests and small operators). *)
+
+val stationary :
+  ?tol:float -> ?max_iter:int -> t -> (Linalg.Vec.t * int * float, string) result
+(** Power iteration directly on the matrix-free operator: the stationary
+    distribution of a chain whose TPM is the represented matrix, without
+    storing it. Returns [(pi, iterations, residual)], or [Error] when the
+    operator is not stochastic (row sums must be 1) or iteration fails to
+    converge. *)

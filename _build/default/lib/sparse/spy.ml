@@ -1,0 +1,28 @@
+let render ?(width = 64) ?(height = 32) m =
+  if width <= 0 || height <= 0 then invalid_arg "Spy.render: non-positive grid";
+  let rows = max 1 (Csr.rows m) and cols = max 1 (Csr.cols m) in
+  let width = min width cols and height = min height rows in
+  let cells = Array.make_matrix height width 0 in
+  Csr.iter m (fun i j _ ->
+      let r = i * height / rows and c = j * width / cols in
+      cells.(r).(c) <- cells.(r).(c) + 1);
+  (* occupancy thresholds relative to the number of matrix entries per cell *)
+  let per_cell =
+    float_of_int rows /. float_of_int height *. (float_of_int cols /. float_of_int width)
+  in
+  let glyph n =
+    if n = 0 then ' '
+    else
+      let occ = float_of_int n /. Float.max per_cell 1.0 in
+      if occ > 0.5 then '#' else if occ > 0.1 then ':' else '.'
+  in
+  let buf = Buffer.create (height * (width + 1)) in
+  for r = 0 to height - 1 do
+    for c = 0 to width - 1 do
+      Buffer.add_char buf (glyph cells.(r).(c))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pp ppf m = Format.fprintf ppf "%s%a" (render m) Csr.pp_stats m

@@ -1,0 +1,10 @@
+(** ASCII rendering of sparse-matrix nonzero patterns (Figure 3 of the
+    paper). The matrix is down-sampled onto a character grid; each cell shows
+    how much of it is occupied. *)
+
+val render : ?width:int -> ?height:int -> Csr.t -> string
+(** [render m] is a multi-line string; [' '] empty, ['.'] sparse, [':']
+    denser, ['#'] dense cells. Default grid 64x32. *)
+
+val pp : Format.formatter -> Csr.t -> unit
+(** [render] with defaults, plus the {!Csr.pp_stats} summary line. *)

@@ -1,0 +1,1 @@
+test/test_cdr.ml: Alcotest Array Cdr Filename Float Fsm Fun Linalg List Markov Printf Prob QCheck2 QCheck_alcotest Result Sparse String Sys

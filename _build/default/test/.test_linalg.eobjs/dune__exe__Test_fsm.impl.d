@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Fsm List Markov Option Printf Prob QCheck2 QCheck_alcotest Sparse String

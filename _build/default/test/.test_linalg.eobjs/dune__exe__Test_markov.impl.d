@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Filename Fun Linalg List Markov Printf QCheck2 QCheck_alcotest Result Sparse Sys

@@ -1,0 +1,1 @@
+test/test_pdd.ml: Alcotest Array Cdr Linalg List Markov Pdd Printf Prob QCheck2 QCheck_alcotest Sparse

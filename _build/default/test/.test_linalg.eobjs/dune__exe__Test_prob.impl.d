@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array List Printf Prob QCheck2 QCheck_alcotest

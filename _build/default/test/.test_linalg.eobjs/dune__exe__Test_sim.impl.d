@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cdr List Markov Printf Prob QCheck2 QCheck_alcotest Sim

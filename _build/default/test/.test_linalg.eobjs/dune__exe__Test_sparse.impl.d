@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Linalg List QCheck2 QCheck_alcotest Sparse String

@@ -1,0 +1,300 @@
+(* Tests for the stochastic FSM-network formalism: component validation,
+   wiring rules, compositional chain construction against hand-computed and
+   Kronecker references, and agreement between the built chain and direct
+   simulation. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* A bare counter mod n driven by a coin: increments when input symbol is 1. *)
+let mod_counter ~name n =
+  Fsm.Component.create ~name ~n_states:n ~input_cards:[| 2 |] ~n_outputs:n
+    ~step:(fun s inputs -> let s' = if inputs.(0) = 1 then (s + 1) mod n else s in (s', s))
+    ()
+
+let coin p = { Fsm.Network.source_name = "coin"; pmf = Prob.Pmf.bernoulli ~p 1 0 }
+
+(* ---------- Component ---------- *)
+
+let test_component_validation () =
+  Alcotest.(check bool) "bad states" true
+    (try
+       ignore
+         (Fsm.Component.create ~name:"x" ~n_states:0 ~input_cards:[||] ~n_outputs:1
+            ~step:(fun _ _ -> (0, 0)) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_check_step_catches_bad_range () =
+  let bad =
+    Fsm.Component.create ~name:"bad" ~n_states:2 ~input_cards:[| 2 |] ~n_outputs:1
+      ~step:(fun s inputs -> (s + inputs.(0), 0))
+      (* state 1 + input 1 = 2: out of range *) ()
+  in
+  Alcotest.(check bool) "caught" true
+    (try Fsm.Component.check_step bad; false with Failure _ -> true);
+  Fsm.Component.check_step (mod_counter ~name:"ok" 4)
+
+let test_constant_component () =
+  let c = Fsm.Component.constant ~name:"k" ~output:2 ~n_outputs:3 in
+  let s, o = c.Fsm.Component.step 0 [||] in
+  Alcotest.(check int) "state" 0 s;
+  Alcotest.(check int) "output" 2 o
+
+(* ---------- Network validation ---------- *)
+
+let test_network_feed_forward_enforced () =
+  let a = mod_counter ~name:"a" 2 and b = mod_counter ~name:"b" 2 in
+  Alcotest.(check bool) "forward read rejected" true
+    (try
+       ignore
+         (Fsm.Network.create ~sources:[| coin 0.5 |] ~components:[| a; b |]
+            ~wiring:[| [| Fsm.Network.From_component 1 |]; [| Fsm.Network.From_source 0 |] |]);
+       false
+     with Invalid_argument _ -> true);
+  (* but reading a later component's *state* is fine (registered feedback) *)
+  let a2 =
+    Fsm.Component.create ~name:"a2" ~n_states:2 ~input_cards:[| 2 |] ~n_outputs:2
+      ~step:(fun _ inputs -> (inputs.(0), inputs.(0)))
+      ()
+  in
+  ignore
+    (Fsm.Network.create ~sources:[||] ~components:[| a2; mod_counter ~name:"b2" 2 |]
+       ~wiring:[| [| Fsm.Network.From_state 1 |]; [| Fsm.Network.From_component 0 |] |])
+
+let test_network_cardinality_checks () =
+  let narrow =
+    Fsm.Component.create ~name:"narrow" ~n_states:1 ~input_cards:[| 2 |] ~n_outputs:1
+      ~step:(fun _ _ -> (0, 0))
+      ()
+  in
+  let wide_source = { Fsm.Network.source_name = "wide"; pmf = Prob.Pmf.uniform [ 0; 1; 2 ] } in
+  Alcotest.(check bool) "source too wide" true
+    (try
+       ignore
+         (Fsm.Network.create ~sources:[| wide_source |] ~components:[| narrow |]
+            ~wiring:[| [| Fsm.Network.From_source 0 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_encode_decode_roundtrip () =
+  let net =
+    Fsm.Network.create ~sources:[| coin 0.5 |]
+      ~components:[| mod_counter ~name:"a" 3; mod_counter ~name:"b" 5 |]
+      ~wiring:[| [| Fsm.Network.From_source 0 |]; [| Fsm.Network.From_source 0 |] |]
+  in
+  Alcotest.(check int) "product size" 15 (Fsm.Network.n_global_states net);
+  for a = 0 to 2 do
+    for b = 0 to 4 do
+      let code = Fsm.Network.encode net [| a; b |] in
+      Alcotest.(check (array int)) "roundtrip" [| a; b |] (Fsm.Network.decode net code)
+    done
+  done
+
+(* ---------- chain construction ---------- *)
+
+let test_single_counter_chain () =
+  (* counter mod 3 with increment prob p: explicit 3-cycle chain *)
+  let p = 0.3 in
+  let net =
+    Fsm.Network.create ~sources:[| coin p |] ~components:[| mod_counter ~name:"c" 3 |]
+      ~wiring:[| [| Fsm.Network.From_source 0 |] |]
+  in
+  let built = Fsm.Network.build_chain net ~initial:[| 0 |] in
+  let c = built.Fsm.Network.chain in
+  Alcotest.(check int) "all states reachable" 3 (Markov.Chain.n_states c);
+  (* locate the chain index of component-state s *)
+  let idx s = Option.get (built.Fsm.Network.index_of [| s |]) in
+  check_float "stay" (1.0 -. p) (Markov.Chain.transition_prob c (idx 0) (idx 0));
+  check_float "step" p (Markov.Chain.transition_prob c (idx 0) (idx 1));
+  check_float "wrap" p (Markov.Chain.transition_prob c (idx 2) (idx 0));
+  (* symmetric cycle: uniform stationary distribution *)
+  let pi = Markov.Gth.solve c in
+  Array.iter (fun v -> check_float ~eps:1e-12 "uniform" (1.0 /. 3.0) v) pi
+
+let test_independent_components_kronecker () =
+  (* two independent coins driving independent counters: the composed TPM is
+     the Kronecker product of the component TPMs *)
+  let pa = 0.3 and pb = 0.7 in
+  let single p n =
+    let net =
+      Fsm.Network.create ~sources:[| coin p |] ~components:[| mod_counter ~name:"c" n |]
+        ~wiring:[| [| Fsm.Network.From_source 0 |] |]
+    in
+    (Fsm.Network.build_chain net ~initial:[| 0 |]).Fsm.Network.chain
+  in
+  let chain_a = single pa 2 and chain_b = single pb 3 in
+  let expected = Sparse.Kron.product (Markov.Chain.tpm chain_a) (Markov.Chain.tpm chain_b) in
+  let joint_net =
+    Fsm.Network.create
+      ~sources:[| coin pa; coin pb |]
+      ~components:[| mod_counter ~name:"a" 2; mod_counter ~name:"b" 3 |]
+      ~wiring:[| [| Fsm.Network.From_source 0 |]; [| Fsm.Network.From_source 1 |] |]
+  in
+  let joint = Fsm.Network.build_chain joint_net ~initial:[| 0; 0 |] in
+  (* compare entrywise through the index mapping *)
+  let n = Markov.Chain.n_states joint.Fsm.Network.chain in
+  Alcotest.(check int) "full product reachable" 6 n;
+  let ok = ref true in
+  for a = 0 to 1 do
+    for b = 0 to 2 do
+      for a' = 0 to 1 do
+        for b' = 0 to 2 do
+          let i = Option.get (joint.Fsm.Network.index_of [| a; b |]) in
+          let j = Option.get (joint.Fsm.Network.index_of [| a'; b' |]) in
+          let expected_v = Sparse.Csr.get expected ((a * 3) + b) ((a' * 3) + b') in
+          let got = Markov.Chain.transition_prob joint.Fsm.Network.chain i j in
+          if abs_float (expected_v -. got) > 1e-12 then ok := false
+        done
+      done
+    done
+  done;
+  Alcotest.(check bool) "matches kronecker product" true !ok
+
+let test_from_state_feedback_semantics () =
+  (* component 0 copies component 1's *current* state; component 1 toggles
+     every step. Starting from (0, 1): next state of comp0 must be 1 (the
+     pre-update state of comp1), while comp1 moves to 0. *)
+  let copier =
+    Fsm.Component.create ~name:"copier" ~n_states:2 ~input_cards:[| 2 |] ~n_outputs:1
+      ~step:(fun _ inputs -> (inputs.(0), 0))
+      ()
+  in
+  let toggler =
+    Fsm.Component.create ~name:"toggler" ~n_states:2 ~input_cards:[||] ~n_outputs:1
+      ~step:(fun s _ -> (1 - s, 0))
+      ()
+  in
+  let net =
+    Fsm.Network.create ~sources:[||] ~components:[| copier; toggler |]
+      ~wiring:[| [| Fsm.Network.From_state 1 |]; [||] |]
+  in
+  let built = Fsm.Network.build_chain net ~initial:[| 0; 1 |] in
+  let i = Option.get (built.Fsm.Network.index_of [| 0; 1 |]) in
+  let j = Option.get (built.Fsm.Network.index_of [| 1; 0 |]) in
+  check_float "deterministic move" 1.0
+    (Markov.Chain.transition_prob built.Fsm.Network.chain i j)
+
+let test_chain_rows_stochastic () =
+  let net =
+    Fsm.Network.create
+      ~sources:[| coin 0.4; { Fsm.Network.source_name = "tri"; pmf = Prob.Pmf.uniform [ 0; 1 ] } |]
+      ~components:[| mod_counter ~name:"a" 4; mod_counter ~name:"b" 3 |]
+      ~wiring:[| [| Fsm.Network.From_source 0 |]; [| Fsm.Network.From_source 1 |] |]
+  in
+  let built = Fsm.Network.build_chain net ~initial:[| 0; 0 |] in
+  Array.iter
+    (fun s -> check_float ~eps:1e-12 "row sum" 1.0 s)
+    (Sparse.Csr.row_sums (Markov.Chain.tpm built.Fsm.Network.chain))
+
+let test_simulation_matches_chain () =
+  (* empirical state frequencies from simulate converge to the stationary
+     distribution of the built chain *)
+  let p = 0.35 in
+  let net =
+    Fsm.Network.create ~sources:[| coin p |] ~components:[| mod_counter ~name:"c" 4 |]
+      ~wiring:[| [| Fsm.Network.From_source 0 |] |]
+  in
+  let built = Fsm.Network.build_chain net ~initial:[| 0 |] in
+  let pi = Markov.Gth.solve built.Fsm.Network.chain in
+  let counts = Array.make 4 0 in
+  let steps = 200_000 in
+  Fsm.Network.simulate net
+    ~rng:(Prob.Rng.create ~seed:99L)
+    ~initial:[| 0 |] ~steps
+    ~on_step:(fun states _ -> counts.(states.(0)) <- counts.(states.(0)) + 1);
+  for s = 0 to 3 do
+    let freq = float_of_int counts.(s) /. float_of_int steps in
+    let idx = Option.get (built.Fsm.Network.index_of [| s |]) in
+    Alcotest.(check bool)
+      (Printf.sprintf "freq state %d" s)
+      true
+      (abs_float (freq -. pi.(idx)) < 0.01)
+  done
+
+let test_to_dot () =
+  let watcher =
+    Fsm.Component.create ~name:"b" ~n_states:5 ~input_cards:[| 3 |] ~n_outputs:1
+      ~step:(fun s inputs -> ((s + inputs.(0)) mod 5, 0))
+      ()
+  in
+  let net =
+    Fsm.Network.create ~sources:[| coin 0.5 |]
+      ~components:[| mod_counter ~name:"a" 3; watcher |]
+      ~wiring:[| [| Fsm.Network.From_source 0 |]; [| Fsm.Network.From_state 0 |] |]
+  in
+  let dot = Fsm.Network.to_dot net in
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph fsm_network");
+  Alcotest.(check bool) "source node" true (contains "src0");
+  Alcotest.(check bool) "component node" true (contains "comp1");
+  Alcotest.(check bool) "state feedback dashed" true (contains "style=dashed")
+
+(* ---------- properties ---------- *)
+
+let network_gen =
+  (* random two-component feed-forward network: coin -> counter -> counter *)
+  let open QCheck2.Gen in
+  let* p = float_range 0.05 0.95 in
+  let* na = int_range 2 5 in
+  let* nb = int_range 2 5 in
+  let a = mod_counter ~name:"a" na in
+  (* b increments when a's output (its previous state) is 0 *)
+  let b =
+    Fsm.Component.create ~name:"b" ~n_states:nb ~input_cards:[| na |] ~n_outputs:1
+      ~step:(fun s inputs -> (if inputs.(0) = 0 then (s + 1) mod nb else s), 0)
+      ()
+  in
+  return
+    (Fsm.Network.create ~sources:[| coin p |] ~components:[| a; b |]
+       ~wiring:[| [| Fsm.Network.From_source 0 |]; [| Fsm.Network.From_component 0 |] |])
+
+let prop_chain_stochastic =
+  QCheck2.Test.make ~name:"built chains are row-stochastic" ~count:50 network_gen (fun net ->
+      let built = Fsm.Network.build_chain net ~initial:[| 0; 0 |] in
+      Array.for_all
+        (fun s -> abs_float (s -. 1.0) < 1e-12)
+        (Sparse.Csr.row_sums (Markov.Chain.tpm built.Fsm.Network.chain)))
+
+let prop_reachable_closed =
+  QCheck2.Test.make ~name:"reachable state set is transition-closed" ~count:50 network_gen
+    (fun net ->
+      let built = Fsm.Network.build_chain net ~initial:[| 0; 0 |] in
+      (* every column index referenced must be a registered state *)
+      let n = Markov.Chain.n_states built.Fsm.Network.chain in
+      let ok = ref true in
+      Sparse.Csr.iter (Markov.Chain.tpm built.Fsm.Network.chain) (fun _ j _ ->
+          if j < 0 || j >= n then ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "fsm"
+    [
+      ( "component",
+        [
+          Alcotest.test_case "validation" `Quick test_component_validation;
+          Alcotest.test_case "check_step range" `Quick test_check_step_catches_bad_range;
+          Alcotest.test_case "constant" `Quick test_constant_component;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "feed-forward enforced" `Quick test_network_feed_forward_enforced;
+          Alcotest.test_case "cardinality checks" `Quick test_network_cardinality_checks;
+          Alcotest.test_case "encode/decode" `Quick test_encode_decode_roundtrip;
+        ] );
+      ( "chain-construction",
+        [
+          Alcotest.test_case "single counter" `Quick test_single_counter_chain;
+          Alcotest.test_case "independent = kronecker" `Quick test_independent_components_kronecker;
+          Alcotest.test_case "From_state semantics" `Quick test_from_state_feedback_semantics;
+          Alcotest.test_case "rows stochastic" `Quick test_chain_rows_stochastic;
+          Alcotest.test_case "simulation matches chain" `Slow test_simulation_matches_chain;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_chain_stochastic; prop_reachable_closed ] );
+    ]
