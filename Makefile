@@ -1,0 +1,24 @@
+.PHONY: all build test fmt check bench-telemetry clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+# Everything CI needs: the build, formatting (dune files; the container has
+# no ocamlformat), and the full test suite including the cdr_obs suite.
+check: build fmt test
+
+# Quick end-to-end telemetry smoke: the solver-telemetry bench section with
+# JSONL events streamed to a file.
+bench-telemetry:
+	CDR_OBS=jsonl:/tmp/cdr_bench_events.jsonl dune exec bench/main.exe -- telemetry
+
+clean:
+	dune clean

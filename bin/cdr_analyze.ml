@@ -93,19 +93,67 @@ let widen_solver (s : [ `Multigrid | `Power | `Gauss_seidel ]) =
   (s
     :> [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ])
 
+(* ---------- telemetry flags (see Cdr_obs) ---------- *)
+
+let trace_file =
+  let doc =
+    "Write JSONL telemetry (one event per line: spans with wall-clock and allocation deltas, \
+     per-iteration solver convergence samples) to $(docv). Equivalent to CDR_OBS=jsonl:$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file =
+  let doc =
+    "Write the solver convergence trace as CSV (header iter,residual,elapsed_s; one row per \
+     outer iteration, e.g. per multigrid V-cycle) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 (* ---------- analyze ---------- *)
 
-let analyze_cmd =
-  let run cfg solver =
+let analyze_term =
+  let run cfg solver trace_file metrics_file =
+    Option.iter
+      (fun path ->
+        try ignore (Cdr_obs.Sink.install_file path)
+        with Sys_error msg ->
+          Format.eprintf "cdr_analyze: cannot open trace file: %s@." msg;
+          exit 1)
+      trace_file;
+    (* open the CSV before the solve so a bad path fails fast, not after a
+       multi-second run *)
+    let metrics_out =
+      Option.map
+        (fun path ->
+          match open_out path with
+          | exception Sys_error msg ->
+              Format.eprintf "cdr_analyze: cannot open metrics file: %s@." msg;
+              exit 1
+          | oc -> (path, oc))
+        metrics_file
+    in
     let report = Cdr.Report.run ~solver cfg in
     Format.printf "%a@." Cdr.Report.pp report;
     let model = Cdr.Model.build cfg in
     let solution = Cdr.Model.solve ~solver:(widen_solver solver) model in
     let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
-    Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf
+    Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
+    Option.iter
+      (fun (path, oc) ->
+        output_string oc (Cdr_obs.Trace.to_csv report.Cdr.Report.trace);
+        close_out oc;
+        Format.eprintf "convergence trace (%d samples, %s) written to %s@."
+          (Cdr_obs.Trace.length report.Cdr.Report.trace)
+          (Cdr_obs.Trace.name report.Cdr.Report.trace)
+          path)
+      metrics_out;
+    Cdr_obs.Sink.close_all ()
   in
+  Term.(const run $ config_term $ solver $ trace_file $ metrics_file)
+
+let analyze_cmd =
   let doc = "Stationary phase-error density, BER and cycle-slip time for one configuration." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ config_term $ solver)
+  Cmd.v (Cmd.info "analyze" ~doc) analyze_term
 
 (* ---------- sweep (counter) ---------- *)
 
@@ -324,8 +372,16 @@ let solvers_cmd =
   Cmd.v (Cmd.info "solvers" ~doc) Term.(const run $ config_term)
 
 let () =
+  Cdr_obs.Sink.init_from_env ();
   let doc = "Stochastic performance analysis of digital clock-data recovery circuits" in
   let info = Cmd.info "cdr_analyze" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-       [ analyze_cmd; sweep_cmd; sigma_cmd; slip_cmd; mc_cmd; spy_cmd; tolerance_cmd;
-         acquisition_cmd; scenario_cmd; dot_cmd; spectrum_cmd; csv_cmd; solvers_cmd ]))
+  (* [analyze] doubles as the default command, so the telemetry flags work
+     with no subcommand: cdr_analyze --trace t.jsonl --metrics m.csv *)
+  let status =
+    Cmd.eval
+      (Cmd.group ~default:analyze_term info
+         [ analyze_cmd; sweep_cmd; sigma_cmd; slip_cmd; mc_cmd; spy_cmd; tolerance_cmd;
+           acquisition_cmd; scenario_cmd; dot_cmd; spectrum_cmd; csv_cmd; solvers_cmd ])
+  in
+  Cdr_obs.Sink.close_all ();
+  exit status

@@ -32,5 +32,10 @@ val eye_density : Config.t -> rho:Linalg.Vec.t -> (float * float) array
 (** The density of [Phi + n_w] the paper plots next to the phase-error
     density (discrete convolution on the [n_w] lattice). *)
 
-val analyze : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Model.t -> result * Markov.Solution.t
-(** Solve for the stationary distribution and evaluate everything. *)
+val analyze :
+  ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?trace:Cdr_obs.Trace.t ->
+  Model.t ->
+  result * Markov.Solution.t
+(** Solve for the stationary distribution and evaluate everything. [?trace]
+    is forwarded to the solver (see {!Model.solve}). *)

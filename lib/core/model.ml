@@ -60,21 +60,23 @@ let of_indexed ~config ~chain ~states ~build_seconds =
 
 let build_via_network cfg =
   let cfg = Config.create_exn cfg in
-  let start = Unix.gettimeofday () in
-  let net, initial = network cfg in
-  let built = Fsm.Network.build_chain net ~initial in
-  let states =
-    Array.map (fun s -> (s.(0), s.(2), s.(3))) built.Fsm.Network.states
+  let model, build_seconds =
+    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "network") ] (fun () ->
+        let net, initial = network cfg in
+        let built = Fsm.Network.build_chain net ~initial in
+        let states = Array.map (fun s -> (s.(0), s.(2), s.(3))) built.Fsm.Network.states in
+        of_indexed ~config:cfg ~chain:built.Fsm.Network.chain ~states ~build_seconds:0.0)
   in
-  of_indexed ~config:cfg ~chain:built.Fsm.Network.chain ~states
-    ~build_seconds:(Unix.gettimeofday () -. start)
+  Cdr_obs.Metrics.incr "model.builds" ~labels:[ ("via", "network") ];
+  { model with build_seconds }
 
 (* Direct compositional construction: the same chain, with each noise source
    marginalized where it acts. Successor enumeration per state is
    O(data outcomes * detector outcomes * |n_r| support). *)
 let build_direct cfg =
   let cfg = Config.create_exn cfg in
-  let start = Unix.gettimeofday () in
+  let model, build_seconds =
+    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "direct") ] @@ fun () ->
   let m = cfg.Config.grid_points in
   let n_data = Data_source.n_states cfg in
   let n_counter = Counter.n_states cfg in
@@ -192,7 +194,10 @@ let build_direct cfg =
     !rows;
   let chain = Markov.Chain.of_csr ~tol:1e-9 (Sparse.Coo.to_csr acc) in
   let states = Array.of_list (List.rev !order) in
-  of_indexed ~config:cfg ~chain ~states ~build_seconds:(Unix.gettimeofday () -. start)
+  of_indexed ~config:cfg ~chain ~states ~build_seconds:0.0
+  in
+  Cdr_obs.Metrics.incr "model.builds" ~labels:[ ("via", "direct") ];
+  { model with build_seconds }
 
 let build ?(via = `Direct) cfg =
   match via with `Direct -> build_direct cfg | `Network -> build_via_network cfg
@@ -239,16 +244,28 @@ let hierarchy t =
   in
   go keys []
 
-let solve ?(solver = `Multigrid) ?(tol = 1e-12) t =
+let solver_name = function
+  | `Multigrid -> "multigrid"
+  | `Power -> "power"
+  | `Gauss_seidel -> "gauss-seidel"
+  | `Jacobi -> "jacobi"
+  | `Sor _ -> "sor"
+  | `Arnoldi -> "arnoldi"
+  | `Aggregation -> "aggregation"
+
+let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?trace t =
+  Cdr_obs.Span.with_ ~name:"model.solve" ~attrs:[ ("solver", solver_name solver) ] @@ fun () ->
+  Cdr_obs.Metrics.incr "model.solves" ~labels:[ ("solver", solver_name solver) ];
   match solver with
   | `Multigrid ->
-      let solution, _stats = Markov.Multigrid.solve ~tol ~hierarchy:(hierarchy t) t.chain in
+      let solution, _stats = Markov.Multigrid.solve ~tol ?trace ~hierarchy:(hierarchy t) t.chain in
       solution
-  | `Power -> Markov.Power.solve ~tol t.chain
-  | `Gauss_seidel -> Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol t.chain
-  | `Jacobi -> Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol t.chain
-  | `Sor omega -> Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol t.chain
-  | `Arnoldi -> Markov.Arnoldi.solve ~tol t.chain
+  | `Power -> Markov.Power.solve ~tol ?trace t.chain
+  | `Gauss_seidel ->
+      Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol ?trace t.chain
+  | `Jacobi -> Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol ?trace t.chain
+  | `Sor omega -> Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol ?trace t.chain
+  | `Arnoldi -> Markov.Arnoldi.solve ~tol ?trace t.chain
   | `Aggregation ->
       let partition =
         match hierarchy t with

@@ -48,10 +48,18 @@ val solve :
   ?solver:
     [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->
   ?tol:float ->
+  ?trace:Cdr_obs.Trace.t ->
   t ->
   Markov.Solution.t
 (** Stationary distribution; default [`Multigrid] with the structured
-    {!hierarchy} (and tolerance [1e-12]). *)
+    {!hierarchy} (and tolerance [1e-12]). [?trace] is forwarded to the
+    selected solver's convergence recorder ([`Aggregation] does not record
+    one). The whole solve runs inside a ["model.solve"] span. *)
+
+val solver_name :
+  [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->
+  string
+(** Stable lower-case names used in span attributes and telemetry labels. *)
 
 val network : Config.t -> Fsm.Network.t * int array
 (** The underlying FSM network and its initial state vector (exposed for

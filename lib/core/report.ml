@@ -7,22 +7,42 @@ type t = {
   solve_seconds : float;
   phase_density : Linalg.Vec.t;
   eye_density : (float * float) array;
+  trace : Cdr_obs.Trace.t;
 }
 
 let run ?(solver = `Multigrid) cfg =
+  Cdr_obs.Span.with_ ~name:"report.run" @@ fun () ->
   let model = Model.build cfg in
-  let t0 = Unix.gettimeofday () in
-  let result, solution = Ber.analyze ~solver model in
-  let solve_seconds = Unix.gettimeofday () -. t0 in
+  let trace =
+    Cdr_obs.Trace.create
+      ~name:
+        (Model.solver_name
+           (solver
+             :> [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation
+                | `Arnoldi ]))
+      ()
+  in
+  let (result, solution), solve_seconds =
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () -> Ber.analyze ~solver ~trace model)
+  in
+  (* every solver records its outer-iteration count in the trace; the
+     Solution count is the fallback for an instantly-converged (empty) trace *)
+  let iterations =
+    match Cdr_obs.Trace.last_iter trace with
+    | 0 -> solution.Markov.Solution.iterations
+    | n -> n
+  in
+  Cdr_obs.Metrics.observe "report.solve_seconds" solve_seconds;
   {
     config = cfg;
     ber = result.Ber.ber;
     size = model.Model.n_states;
-    iterations = solution.Markov.Solution.iterations;
+    iterations;
     matrix_form_seconds = model.Model.build_seconds;
     solve_seconds;
     phase_density = result.Ber.phase_density;
     eye_density = result.Ber.eye_density;
+    trace;
   }
 
 let header_line t =

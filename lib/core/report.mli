@@ -12,15 +12,19 @@ type t = {
   config : Config.t;
   ber : float;
   size : int;
-  iterations : int;
+  iterations : int; (* outer solver iterations, from the convergence trace *)
   matrix_form_seconds : float;
   solve_seconds : float;
   phase_density : Linalg.Vec.t;
   eye_density : (float * float) array;
+  trace : Cdr_obs.Trace.t; (* per-iteration residual trace of the solve *)
 }
 
 val run : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> t
-(** Build, solve, analyze, and time everything. *)
+(** Build, solve, analyze, and time everything. The solve runs with a fresh
+    {!Cdr_obs.Trace.t} (returned in [trace]); [iterations] is populated from
+    that trace uniformly for all three solver choices, so V-cycles, power
+    steps and Gauss-Seidel sweeps are counted the same way. *)
 
 val header_line : t -> string
 

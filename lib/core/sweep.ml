@@ -1,17 +1,22 @@
 type point = { config : Config.t; report : Report.t }
 
+let point ~attr_name ~attr_value config solver =
+  Cdr_obs.Span.with_ ~name:"sweep.point" ~attrs:[ (attr_name, attr_value) ] @@ fun () ->
+  Cdr_obs.Metrics.incr "sweep.points";
+  { config; report = Report.run ?solver config }
+
 let counter_lengths ?solver base lengths =
   List.map
     (fun k ->
       let config = Config.create_exn { base with Config.counter_length = k } in
-      { config; report = Report.run ?solver config })
+      point ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
     lengths
 
 let sigma_w_values ?solver base sigmas =
   List.map
     (fun sigma ->
       let config = Config.create_exn { base with Config.sigma_w = sigma } in
-      { config; report = Report.run ?solver config })
+      point ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
     sigmas
 
 let optimal_counter ?solver base lengths =

@@ -31,7 +31,7 @@ let hessenberg_eigvec h m =
      ());
   !y
 
-let solve ?(tol = 1e-12) ?(max_restarts = 200) ?(subspace = 20) ?init chain =
+let solve ?(tol = 1e-12) ?(max_restarts = 200) ?(subspace = 20) ?init ?trace chain =
   let n = Chain.n_states chain in
   let m = max 2 (min subspace n) in
   let pt = Sparse.Csr.transpose (Chain.tpm chain) in
@@ -87,7 +87,12 @@ let solve ?(tol = 1e-12) ?(max_restarts = 200) ?(subspace = 20) ?init chain =
        candidate *)
     let cleaned = Array.map (fun c -> Float.max c 0.0) x in
     (match Linalg.Vec.normalize_l1 cleaned with
-    | () -> if Chain.residual chain cleaned <= tol then continue_ := false
+    | () ->
+        let residual = Chain.residual chain cleaned in
+        (match trace with
+        | Some t -> Cdr_obs.Trace.record t ~iter:!applications ~residual
+        | None -> ());
+        if residual <= tol then continue_ := false
     | exception Invalid_argument _ -> ())
   done;
   let cleaned = Array.map (fun c -> Float.max c 0.0) x in

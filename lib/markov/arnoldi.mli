@@ -12,8 +12,11 @@ val solve :
   ?max_restarts:int ->
   ?subspace:int ->
   ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
   Chain.t ->
   Solution.t
 (** Defaults: [tol = 1e-12], [max_restarts = 200], [subspace = 20] (Krylov
     dimension per restart). [Solution.iterations] counts operator
-    applications. *)
+    applications. With [?trace], one sample per restart: [iter] is the
+    cumulative operator-application count and the residual is the l1
+    stationarity residual of the cleaned Ritz candidate. *)

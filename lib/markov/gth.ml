@@ -46,4 +46,9 @@ let solve_dense p0 =
     pi
   end
 
-let solve chain = solve_dense (Sparse.Csr.to_dense (Chain.tpm chain))
+let solve ?trace chain =
+  let pi = solve_dense (Sparse.Csr.to_dense (Chain.tpm chain)) in
+  (match trace with
+  | Some t -> Cdr_obs.Trace.record t ~iter:1 ~residual:(Chain.residual chain pi)
+  | None -> ());
+  pi

@@ -13,7 +13,11 @@ val solve_dense : Linalg.Mat.t -> Linalg.Vec.t
     and [Failure] when elimination encounters an isolated state (reducible
     chain). *)
 
-val solve : Chain.t -> Linalg.Vec.t
+val solve : ?trace:Cdr_obs.Trace.t -> Chain.t -> Linalg.Vec.t
+(** Sparse front end to {!solve_dense}. GTH is direct, so with [?trace] it
+    records exactly one sample ([iter = 1]) carrying the achieved l1
+    stationarity residual (the residual is only measured when a trace is
+    supplied). *)
 
 val max_direct_size : int
 (** Advisory size bound (number of states) under which the dense O(n^3) solve

@@ -188,8 +188,8 @@ type workspace = {
   pat : pattern;
 }
 
-let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ~hierarchy
-    chain =
+let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ?trace
+    ~hierarchy chain =
   let n = Chain.n_states chain in
   validate_hierarchy ~n hierarchy;
   let fine_csr = Chain.tpm chain in
@@ -236,6 +236,12 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
   let n_levels = Array.length workspaces in
   let coarsest = workspaces.(n_levels - 1) in
   let smoothing_sweeps = ref 0 in
+  let note_sweeps level sweeps =
+    smoothing_sweeps := !smoothing_sweeps + sweeps;
+    match trace with
+    | Some t -> Cdr_obs.Trace.record_sweeps t ~level ~sweeps
+    | None -> ()
+  in
   (* dense GTH on the coarsest level *)
   let solve_coarsest () =
     let ws = coarsest in
@@ -256,7 +262,7 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
       let level = Option.get ws.level in
       scatter_transpose ws.pat ws.values ws.trans_values;
       gauss_seidel_sweeps ws.pat ws.trans_values ws.x pre_smooth;
-      if l = 0 then smoothing_sweeps := !smoothing_sweeps + pre_smooth;
+      note_sweeps l pre_smooth;
       let next = workspaces.(l + 1) in
       aggregate level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
         ~block_weight:ws.block_weight;
@@ -277,7 +283,7 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
       let s = Linalg.Vec.sum ws.x in
       if s > 0.0 then Linalg.Vec.scale_in_place (1.0 /. s) ws.x;
       gauss_seidel_sweeps ws.pat ws.trans_values ws.x post_smooth;
-      if l = 0 then smoothing_sweeps := !smoothing_sweeps + post_smooth
+      note_sweeps l post_smooth
     end
   in
   let x0 = workspaces.(0).x in
@@ -291,7 +297,11 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
   while !continue_ && !cycles < max_cycles do
     cycle 0;
     incr cycles;
-    if Chain.residual chain x0 <= tol then continue_ := false
+    let residual = Chain.residual chain x0 in
+    (match trace with
+    | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual
+    | None -> ());
+    if residual <= tol then continue_ := false
   done;
   let solution = Solution.make ~chain ~pi:(Array.copy x0) ~iterations:!cycles ~tol in
   ( solution,

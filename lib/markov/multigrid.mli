@@ -18,7 +18,7 @@ type stats = {
   cycles : int; (* V-cycles performed *)
   levels : int; (* levels including the finest and the coarsest *)
   coarsest_size : int;
-  smoothing_sweeps : int; (* total fine-level Gauss-Seidel sweeps *)
+  smoothing_sweeps : int; (* total Gauss-Seidel sweeps across all levels *)
 }
 
 val default_hierarchy : n:int -> coarsest:int -> Partition.t list
@@ -30,9 +30,16 @@ val solve :
   ?pre_smooth:int ->
   ?post_smooth:int ->
   ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
   hierarchy:Partition.t list ->
   Chain.t ->
   Solution.t * stats
 (** Defaults: [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
     [post_smooth = 2]. Raises [Invalid_argument] when the hierarchy sizes do
-    not chain up with the fine chain. *)
+    not chain up with the fine chain.
+
+    With [?trace], one sample per V-cycle (the l1 stationarity residual the
+    convergence test uses — computed per cycle regardless, so tracing adds no
+    numerical work) and a per-level smoothing-sweep breakdown via
+    {!Cdr_obs.Trace.record_sweeps} (level 0 = finest; the coarsest level is
+    solved directly and performs no sweeps). *)

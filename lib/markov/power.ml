@@ -1,4 +1,4 @@
-let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init chain =
+let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace chain =
   let pi = ref (match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain) in
   Linalg.Vec.normalize_l1 !pi;
   let next = Linalg.Vec.create (Chain.n_states chain) in
@@ -13,6 +13,9 @@ let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init chain =
     pi := !scratch;
     scratch := tmp;
     incr iterations;
+    (match trace with
+    | Some t -> Cdr_obs.Trace.record t ~iter:!iterations ~residual:diff
+    | None -> ());
     if diff <= tol then continue_ := false
   done;
   Solution.make ~chain ~pi:!pi ~iterations:!iterations ~tol

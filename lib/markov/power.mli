@@ -4,8 +4,17 @@
     stiff CDR chains (that is the point of the multigrid method) but simple,
     robust, and the smoother used inside the multilevel cycles. *)
 
-val solve : ?tol:float -> ?max_iter:int -> ?init:Linalg.Vec.t -> Chain.t -> Solution.t
-(** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform]. *)
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
+  Chain.t ->
+  Solution.t
+(** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform]. With
+    [?trace], one sample per iteration: the l1 step difference
+    [||pi_{k+1} - pi_k||_1] (which for a normalized power step is the l1
+    stationarity residual) is recorded as the residual. *)
 
 val sweeps : Chain.t -> Linalg.Vec.t -> int -> Linalg.Vec.t
 (** [sweeps c pi n] applies [n] normalized power steps (used as multigrid

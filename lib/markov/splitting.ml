@@ -13,7 +13,7 @@ let denominators diag =
       if denom < 1e-300 then 1e-300 else denom)
     diag
 
-let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init chain =
+let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace chain =
   (match method_ with
   | Sor omega when omega <= 0.0 || omega >= 2.0 ->
       invalid_arg "Splitting.solve: SOR omega must lie in (0, 2)"
@@ -54,7 +54,11 @@ let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init chain =
         done);
     Linalg.Vec.normalize_l1 x;
     incr iterations;
-    if Linalg.Vec.dist_l1 x prev <= tol then continue_ := false
+    let diff = Linalg.Vec.dist_l1 x prev in
+    (match trace with
+    | Some t -> Cdr_obs.Trace.record t ~iter:!iterations ~residual:diff
+    | None -> ());
+    if diff <= tol then continue_ := false
   done;
   Solution.make ~chain ~pi:x ~iterations:!iterations ~tol
 

@@ -19,10 +19,13 @@ val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
   Chain.t ->
   Solution.t
 (** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform].
-    Raises [Invalid_argument] for an out-of-range SOR parameter. *)
+    Raises [Invalid_argument] for an out-of-range SOR parameter. With
+    [?trace], one sample per sweep recording the l1 step difference the
+    convergence test uses as the residual. *)
 
 val sweeps_gauss_seidel : transposed:Sparse.Csr.t -> Linalg.Vec.t -> int -> unit
 (** In-place Gauss-Seidel smoothing given the pre-transposed TPM; used by the

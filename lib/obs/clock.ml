@@ -1,0 +1,7 @@
+let now = Unix.gettimeofday
+
+let started = now ()
+
+let elapsed () = now () -. started
+
+let minor_words () = Gc.minor_words ()

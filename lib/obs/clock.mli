@@ -1,0 +1,14 @@
+(** The single time/allocation source for every instrument in [Cdr_obs].
+
+    Centralizing the clock keeps ad-hoc [Unix.gettimeofday] calls out of the
+    analysis code and gives one place to swap in a monotonic source. *)
+
+val now : unit -> float
+(** Wall-clock seconds since the epoch. *)
+
+val elapsed : unit -> float
+(** Seconds since the process started (first load of this module). *)
+
+val minor_words : unit -> float
+(** Cumulative minor-heap allocation in words ([Gc.minor_words]); span
+    instrumentation reports deltas of this. *)

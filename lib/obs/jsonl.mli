@@ -1,0 +1,32 @@
+(** Minimal JSON values for the JSONL event sinks.
+
+    Self-contained (no external JSON dependency): enough of RFC 8259 to
+    encode telemetry events one-per-line and to parse them back in tests.
+    Not a general-purpose JSON library — numbers are all [float], and
+    encoding never emits newlines, so one value is always one line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line encoding. Integral floats print without a fractional part;
+    non-finite numbers encode as [null] (JSON has no representation). *)
+
+val of_string : string -> t
+(** Parse one JSON value. Raises [Failure] with a position message on
+    malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] on missing key or
+    non-object. *)
+
+val to_float : t -> float option
+(** [Num] payload, if any. *)
+
+val to_str : t -> string option
+(** [Str] payload, if any. *)

@@ -1,0 +1,54 @@
+(** Process-wide metrics registry: counters, gauges, and log-scale
+    histograms, each keyed by a name plus an optional label set.
+
+    The registry exists so the analysis pipeline can record machine-readable
+    facts ("chains built", "V-cycles run", "solve seconds" …) without every
+    call site inventing its own plumbing. Series are created lazily on first
+    use; the same [(name, labels)] pair always resolves to the same series
+    regardless of label order. *)
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float; (* +inf when empty *)
+  mutable max_v : float; (* -inf when empty *)
+  base : float; (* bucket ratio; bucket e spans [base^e, base^{e+1}) *)
+  buckets : (int, int) Hashtbl.t; (* exponent -> observation count *)
+}
+
+type kind = Counter of int | Gauge of float | Histogram of histogram
+
+type series = { name : string; labels : (string * string) list; kind : kind }
+
+val incr : ?labels:(string * string) list -> string -> unit
+(** Counter [name] += 1. *)
+
+val add : ?labels:(string * string) list -> string -> int -> unit
+(** Counter [name] += n. *)
+
+val set_gauge : ?labels:(string * string) list -> string -> float -> unit
+
+val observe : ?labels:(string * string) list -> ?base:float -> string -> float -> unit
+(** Record one observation into a log-scale histogram (default [base = 10.0]:
+    decade buckets). Non-positive and non-finite observations land in a
+    dedicated underflow bucket but still update count/sum/min/max. *)
+
+val bucket_of : base:float -> float -> int
+(** The bucket exponent [e] with [base^e <= v < base^{e+1}], computed exactly
+    at the boundaries (no log round-off: [bucket_of ~base:10. 1000.] is [3]).
+    [min_int] for [v <= 0] or non-finite [v]. *)
+
+val bucket_bounds : base:float -> int -> float * float
+(** Inclusive lower / exclusive upper edge of a bucket. *)
+
+val dump : unit -> series list
+(** Snapshot of every live series, sorted by name then labels. *)
+
+val to_events : unit -> Jsonl.t list
+(** One JSONL event per series (type ["metric"]), for the sinks. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable registry dump. *)
+
+val reset : unit -> unit
+(** Drop every series (tests and bench sections). *)

@@ -1,0 +1,55 @@
+type t = { id : int; write : Jsonl.t -> unit; flush : unit -> unit; close : unit -> unit }
+
+let next_id = ref 0
+
+let sinks : t list ref = ref []
+
+let enabled () = !sinks <> []
+
+let emit event =
+  match !sinks with
+  | [] -> ()
+  | live -> List.iter (fun s -> s.write event) live
+
+let install sink =
+  sinks := sink :: !sinks;
+  sink
+
+let install_jsonl ?(close_channel = false) oc =
+  incr next_id;
+  install
+    {
+      id = !next_id;
+      write = (fun event -> output_string oc (Jsonl.to_string event); output_char oc '\n');
+      flush = (fun () -> flush oc);
+      close = (fun () -> flush oc; if close_channel then close_out_noerr oc);
+    }
+
+let install_file path = install_jsonl ~close_channel:true (open_out path)
+
+let remove sink =
+  if List.exists (fun s -> s.id = sink.id) !sinks then begin
+    sinks := List.filter (fun s -> s.id <> sink.id) !sinks;
+    sink.close ()
+  end
+
+let close_all () =
+  let live = !sinks in
+  sinks := [];
+  List.iter (fun s -> s.close ()) live
+
+let init_from_env () =
+  match Sys.getenv_opt "CDR_OBS" with
+  | None | Some "" | Some "off" | Some "0" -> ()
+  | Some "stderr" -> ignore (install_jsonl stderr)
+  | Some spec ->
+      let path =
+        match String.index_opt spec ':' with
+        | Some i when String.sub spec 0 i = "jsonl" ->
+            Some (String.sub spec (i + 1) (String.length spec - i - 1))
+        | Some _ -> None (* unknown scheme: ignore *)
+        | None -> Some spec
+      in
+      Option.iter
+        (fun path -> match install_file path with _ -> () | exception Sys_error _ -> ())
+        path

@@ -1,0 +1,108 @@
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  start : float;
+  mutable dur : float;
+  mutable minor_words : float;
+  mutable children : t list; (* reversed while open; start order once closed *)
+}
+
+let forced = ref false
+
+let recording () = !forced || Sink.enabled ()
+
+let set_forced b = forced := b
+
+let stack : t list ref = ref []
+
+let finished : t list ref = ref [] (* reversed *)
+
+let roots () = List.rev !finished
+
+let reset () =
+  stack := [];
+  finished := []
+
+let emit_event sp ~depth ~path =
+  if Sink.enabled () then
+    Sink.emit
+      (Jsonl.Obj
+         ([
+            ("type", Jsonl.Str "span");
+            ("name", Jsonl.Str sp.name);
+            ("path", Jsonl.Str path);
+            ("depth", Jsonl.Num (float_of_int depth));
+            ("start_s", Jsonl.Num sp.start);
+            ("dur_s", Jsonl.Num sp.dur);
+            ("minor_words", Jsonl.Num sp.minor_words);
+          ]
+         @ List.map (fun (k, v) -> ("attr_" ^ k, Jsonl.Str v)) sp.attrs))
+
+let close sp start_minor =
+  sp.dur <- Clock.now () -. sp.start;
+  sp.minor_words <- Clock.minor_words () -. start_minor;
+  sp.children <- List.rev sp.children;
+  (* pop this span; on an unbalanced stack (an instrument leaked an open
+     span), drop the strays above it rather than corrupting the tree *)
+  let rec pop = function
+    | s :: rest when s == sp -> rest
+    | _ :: rest -> pop rest
+    | [] -> []
+  in
+  stack := pop !stack;
+  let depth = List.length !stack in
+  let path = String.concat "/" (List.rev_map (fun s -> s.name) !stack) in
+  let path = if path = "" then sp.name else path ^ "/" ^ sp.name in
+  (match !stack with
+  | parent :: _ -> parent.children <- sp :: parent.children
+  | [] -> finished := sp :: !finished);
+  emit_event sp ~depth ~path
+
+let with_ ?(attrs = []) ~name f =
+  if not (recording ()) then f ()
+  else begin
+    let sp =
+      { name; attrs; start = Clock.now (); dur = 0.0; minor_words = 0.0; children = [] }
+    in
+    let start_minor = Clock.minor_words () in
+    stack := sp :: !stack;
+    match f () with
+    | v ->
+        close sp start_minor;
+        v
+    | exception e ->
+        close sp start_minor;
+        raise e
+  end
+
+let timed ?attrs ~name f =
+  let t0 = Clock.now () in
+  let v = with_ ?attrs ~name f in
+  (v, Clock.now () -. t0)
+
+let pp_summary ppf () =
+  let table : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  let rec visit prefix sp =
+    let path = if prefix = "" then sp.name else prefix ^ "/" ^ sp.name in
+    let count, dur, words =
+      match Hashtbl.find_opt table path with
+      | Some row -> row
+      | None ->
+          let row = (ref 0, ref 0.0, ref 0.0) in
+          Hashtbl.add table path row;
+          row
+    in
+    count := !count + 1;
+    dur := !dur +. sp.dur;
+    words := !words +. sp.minor_words;
+    List.iter (visit path) sp.children
+  in
+  List.iter (visit "") (roots ());
+  if Hashtbl.length table = 0 then Format.fprintf ppf "(no spans recorded)@."
+  else begin
+    Format.fprintf ppf "%-44s %6s %12s %14s@." "span" "calls" "seconds" "minor words";
+    Hashtbl.fold (fun path row acc -> (path, row) :: acc) table []
+    |> List.sort compare
+    |> List.iter (fun (path, (count, dur, words)) ->
+           Format.fprintf ppf "%-44s %6d %12.4f %14.3e@." path !count !dur !words)
+  end

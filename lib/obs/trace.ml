@@ -1,0 +1,84 @@
+type sample = { iter : int; residual : float; elapsed : float }
+
+type t = {
+  trace_name : string;
+  created : float;
+  mutable rev_samples : sample list;
+  mutable count : int;
+  mutable sweeps : (int * int) list; (* level -> accumulated sweeps *)
+}
+
+let create ?(name = "solver") () =
+  { trace_name = name; created = Clock.now (); rev_samples = []; count = 0; sweeps = [] }
+
+let name t = t.trace_name
+
+let record t ~iter ~residual =
+  let s = { iter; residual; elapsed = Clock.now () -. t.created } in
+  t.rev_samples <- s :: t.rev_samples;
+  t.count <- t.count + 1;
+  if Sink.enabled () then
+    Sink.emit
+      (Jsonl.Obj
+         [
+           ("type", Jsonl.Str "sample");
+           ("trace", Jsonl.Str t.trace_name);
+           ("iter", Jsonl.Num (float_of_int s.iter));
+           ("residual", Jsonl.Num s.residual);
+           ("elapsed_s", Jsonl.Num s.elapsed);
+         ])
+
+let record_sweeps t ~level ~sweeps =
+  let prev = Option.value ~default:0 (List.assoc_opt level t.sweeps) in
+  t.sweeps <- (level, prev + sweeps) :: List.remove_assoc level t.sweeps
+
+let length t = t.count
+
+let samples t = Array.of_list (List.rev t.rev_samples)
+
+let last t = match t.rev_samples with [] -> None | s :: _ -> Some s
+
+let last_iter t = match t.rev_samples with [] -> 0 | s :: _ -> s.iter
+
+let sweeps_by_level t = List.sort compare t.sweeps
+
+let total_sweeps t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.sweeps
+
+let decades_per_second t =
+  match (List.rev t.rev_samples, t.rev_samples) with
+  | first :: _, newest :: _ when newest != first ->
+      let dt = newest.elapsed -. first.elapsed in
+      if dt <= 0.0 || first.residual <= 0.0 || newest.residual <= 0.0 then 0.0
+      else (Float.log10 first.residual -. Float.log10 newest.residual) /. dt
+  | _ -> 0.0
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "iter,residual,elapsed_s\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "%d,%.9e,%.6f\n" s.iter s.residual s.elapsed))
+    (List.rev t.rev_samples);
+  Buffer.contents buf
+
+let pp ppf t =
+  let all = samples t in
+  let n = Array.length all in
+  Format.fprintf ppf "@[<v>trace %s: %d samples@," t.trace_name n;
+  if n > 0 then begin
+    Format.fprintf ppf "%8s %14s %12s@," "iter" "residual" "elapsed(s)";
+    let max_rows = 12 in
+    let stride = max 1 ((n + max_rows - 1) / max_rows) in
+    Array.iteri
+      (fun i s ->
+        if i mod stride = 0 || i = n - 1 then
+          Format.fprintf ppf "%8d %14.3e %12.4f@," s.iter s.residual s.elapsed)
+      all;
+    let rate = decades_per_second t in
+    if rate <> 0.0 then Format.fprintf ppf "rate: %.2f decades/s@," rate
+  end;
+  (match sweeps_by_level t with
+  | [] -> ()
+  | per_level ->
+      Format.fprintf ppf "smoothing sweeps by level:@,";
+      List.iter (fun (l, s) -> Format.fprintf ppf "  level %d: %d@," l s) per_level);
+  Format.fprintf ppf "@]"

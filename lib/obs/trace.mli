@@ -1,0 +1,54 @@
+(** Solver convergence telemetry.
+
+    A [Trace.t] is handed to a stationary solver via its [?trace] argument;
+    the solver appends one {!sample} per outer iteration (V-cycle, sweep,
+    restart …) carrying the iteration number, the convergence residual it
+    judged, and wall-clock seconds since the trace was created. Multigrid
+    additionally accumulates its per-level smoothing-sweep counts here.
+
+    Each recorded sample is also forwarded to the installed sinks as a JSONL
+    event (type ["sample"]), so a `--trace` run captures the full residual
+    history with no extra plumbing at the call sites. *)
+
+type sample = { iter : int; residual : float; elapsed : float }
+
+type t
+
+val create : ?name:string -> unit -> t
+(** [name] labels the emitted events (conventionally the solver name). The
+    creation instant is the origin of every sample's [elapsed]. *)
+
+val name : t -> string
+
+val record : t -> iter:int -> residual:float -> unit
+
+val record_sweeps : t -> level:int -> sweeps:int -> unit
+(** Accumulate smoothing work at a multigrid level (0 = finest). *)
+
+val length : t -> int
+
+val samples : t -> sample array
+(** Chronological. *)
+
+val last : t -> sample option
+
+val last_iter : t -> int
+(** Iteration number of the newest sample; 0 when empty. *)
+
+val sweeps_by_level : t -> (int * int) list
+(** [(level, total sweeps)] sorted by level; empty unless the solver called
+    {!record_sweeps}. *)
+
+val total_sweeps : t -> int
+
+val decades_per_second : t -> float
+(** Convergence rate: orders of magnitude of residual reduction per second
+    between the first and last sample. 0 when fewer than two samples or no
+    elapsed time. *)
+
+val to_csv : t -> string
+(** ["iter,residual,elapsed_s\n"] header plus one row per sample. *)
+
+val pp : Format.formatter -> t -> unit
+(** Down-sampled human table (at most ~12 rows) plus the rate and, when
+    present, the per-level sweep breakdown. *)

@@ -83,7 +83,7 @@ let solver_cases =
     ( "sor(1.2)",
       fun c ->
         (Markov.Splitting.solve ~method_:(Markov.Splitting.Sor 1.2) ~tol:1e-14 c).Markov.Solution.pi );
-    ("gth", Markov.Gth.solve);
+    ("gth", fun c -> Markov.Gth.solve c);
   ]
 
 let test_solvers_two_state () =

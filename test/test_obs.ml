@@ -1,0 +1,313 @@
+(* Tests for the Cdr_obs telemetry library: JSON encode/parse round-trips,
+   log-scale histogram bucketing at exact boundaries, span nesting and
+   ordering, convergence traces, JSONL sinks, and the Report.run iteration
+   counts that are now derived from the trace. *)
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- Jsonl ---------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Cdr_obs.Jsonl.Null, Cdr_obs.Jsonl.Null -> true
+  | Cdr_obs.Jsonl.Bool x, Cdr_obs.Jsonl.Bool y -> x = y
+  | Cdr_obs.Jsonl.Num x, Cdr_obs.Jsonl.Num y -> x = y || Float.abs (x -. y) < 1e-12 *. Float.abs x
+  | Cdr_obs.Jsonl.Str x, Cdr_obs.Jsonl.Str y -> x = y
+  | Cdr_obs.Jsonl.List x, Cdr_obs.Jsonl.List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Cdr_obs.Jsonl.Obj x, Cdr_obs.Jsonl.Obj y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2) x y
+  | _ -> false
+
+let test_jsonl_roundtrip () =
+  let open Cdr_obs.Jsonl in
+  let v =
+    Obj
+      [
+        ("type", Str "span");
+        ("ok", Bool true);
+        ("nothing", Null);
+        ("n", Num 42.0);
+        ("pi", Num 3.14159);
+        ("tiny", Num 2.5e-13);
+        ("text", Str "line1\nline2 \"quoted\" back\\slash\ttab");
+        ("list", List [ Num 1.0; Str "two"; Bool false; Null ]);
+        ("nested", Obj [ ("k", List [ Obj [ ("deep", Num (-7.0)) ] ]) ]);
+      ]
+  in
+  let s = to_string v in
+  Alcotest.(check bool) "single line" false (String.contains s '\n');
+  Alcotest.(check bool) "round-trip" true (json_equal v (of_string s))
+
+let test_jsonl_encoding () =
+  let open Cdr_obs.Jsonl in
+  check_str "integral float" "42" (to_string (Num 42.0));
+  check_str "negative integral" "-3" (to_string (Num (-3.0)));
+  check_str "non-finite is null" "null" (to_string (Num Float.nan));
+  check_str "infinite is null" "null" (to_string (Num Float.infinity));
+  check_str "escapes" "\"a\\\"b\\\\c\\n\"" (to_string (Str "a\"b\\c\n"));
+  (match of_string "\"\\u0041\\u00e9\"" with
+  | Str s -> check_str "unicode escapes" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "expected string");
+  (match of_string "  [1, 2.5e3, true, null]  " with
+  | List [ Num a; Num b; Bool true; Null ] ->
+      Alcotest.(check (float 0.0)) "1" 1.0 a;
+      Alcotest.(check (float 0.0)) "2.5e3" 2500.0 b
+  | _ -> Alcotest.fail "expected list");
+  (match of_string "{\"a\": 1} trailing" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "trailing garbage must be rejected")
+
+let test_jsonl_member () =
+  let open Cdr_obs.Jsonl in
+  let v = of_string "{\"name\":\"mg\",\"iter\":7}" in
+  check_str "member str" "mg" (Option.get (Option.bind (member "name" v) to_str));
+  Alcotest.(check (float 0.0))
+    "member num" 7.0
+    (Option.get (Option.bind (member "iter" v) to_float));
+  Alcotest.(check bool) "missing member" true (member "absent" v = None)
+
+(* ---------- Metrics: log-scale bucketing ---------- *)
+
+let test_bucket_boundaries () =
+  let b10 = Cdr_obs.Metrics.bucket_of ~base:10.0 in
+  (* exact powers land in their own bucket: base^e <= v < base^(e+1) *)
+  check_int "1.0 -> 0" 0 (b10 1.0);
+  check_int "10 -> 1" 1 (b10 10.0);
+  check_int "100 -> 2" 2 (b10 100.0);
+  check_int "1000 -> 3" 3 (b10 1000.0);
+  check_int "1e6 -> 6" 6 (b10 1e6);
+  check_int "0.1 -> -1" (-1) (b10 0.1);
+  check_int "0.01 -> -2" (-2) (b10 0.01);
+  check_int "1e-12 -> -12" (-12) (b10 1e-12);
+  (* interior values *)
+  check_int "999.9 -> 2" 2 (b10 999.9);
+  check_int "1000.1 -> 3" 3 (b10 1000.1);
+  check_int "0.0999 -> -2" (-2) (b10 0.0999);
+  (* non-positive / non-finite -> underflow bucket *)
+  check_int "zero" min_int (b10 0.0);
+  check_int "negative" min_int (b10 (-5.0));
+  check_int "nan" min_int (b10 Float.nan);
+  (* base 2 *)
+  let b2 = Cdr_obs.Metrics.bucket_of ~base:2.0 in
+  check_int "8 -> 3 (base 2)" 3 (b2 8.0);
+  check_int "7.99 -> 2 (base 2)" 2 (b2 7.99);
+  check_int "0.5 -> -1 (base 2)" (-1) (b2 0.5);
+  (* bounds are consistent with bucket_of *)
+  let lo, hi = Cdr_obs.Metrics.bucket_bounds ~base:10.0 3 in
+  Alcotest.(check (float 1e-9)) "lower bound" 1000.0 lo;
+  Alcotest.(check (float 1e-6)) "upper bound" 10000.0 hi
+
+let test_metrics_registry () =
+  Cdr_obs.Metrics.reset ();
+  Cdr_obs.Metrics.incr "solves" ~labels:[ ("solver", "mg") ];
+  Cdr_obs.Metrics.incr "solves" ~labels:[ ("solver", "mg") ];
+  (* label order must not create a distinct series *)
+  Cdr_obs.Metrics.add "builds" ~labels:[ ("a", "1"); ("b", "2") ] 3;
+  Cdr_obs.Metrics.add "builds" ~labels:[ ("b", "2"); ("a", "1") ] 4;
+  Cdr_obs.Metrics.set_gauge "residual" 1e-13;
+  Cdr_obs.Metrics.observe "seconds" 0.5;
+  Cdr_obs.Metrics.observe "seconds" 5.0;
+  Cdr_obs.Metrics.observe "seconds" 5000.0;
+  let find name =
+    List.find (fun s -> s.Cdr_obs.Metrics.name = name) (Cdr_obs.Metrics.dump ())
+  in
+  (match (find "solves").Cdr_obs.Metrics.kind with
+  | Cdr_obs.Metrics.Counter n -> check_int "counter" 2 n
+  | _ -> Alcotest.fail "expected counter");
+  (match (find "builds").Cdr_obs.Metrics.kind with
+  | Cdr_obs.Metrics.Counter n -> check_int "label order merged" 7 n
+  | _ -> Alcotest.fail "expected counter");
+  (match (find "seconds").Cdr_obs.Metrics.kind with
+  | Cdr_obs.Metrics.Histogram h ->
+      check_int "histogram count" 3 h.Cdr_obs.Metrics.count;
+      check_int "bucket -1" 1 (Hashtbl.find h.Cdr_obs.Metrics.buckets (-1));
+      check_int "bucket 0" 1 (Hashtbl.find h.Cdr_obs.Metrics.buckets 0);
+      check_int "bucket 3" 1 (Hashtbl.find h.Cdr_obs.Metrics.buckets 3);
+      Alcotest.(check (float 1e-9)) "min" 0.5 h.Cdr_obs.Metrics.min_v;
+      Alcotest.(check (float 1e-9)) "max" 5000.0 h.Cdr_obs.Metrics.max_v
+  | _ -> Alcotest.fail "expected histogram");
+  Cdr_obs.Metrics.reset ();
+  check_int "reset empties registry" 0 (List.length (Cdr_obs.Metrics.dump ()))
+
+(* ---------- Spans ---------- *)
+
+let test_span_nesting () =
+  Cdr_obs.Span.reset ();
+  Cdr_obs.Span.set_forced true;
+  Fun.protect ~finally:(fun () ->
+      Cdr_obs.Span.set_forced false;
+      Cdr_obs.Span.reset ())
+  @@ fun () ->
+  let r =
+    Cdr_obs.Span.with_ ~name:"outer" (fun () ->
+        Cdr_obs.Span.with_ ~name:"a" (fun () -> ());
+        Cdr_obs.Span.with_ ~name:"b" ~attrs:[ ("k", "v") ] (fun () ->
+            Cdr_obs.Span.with_ ~name:"b1" (fun () -> ()));
+        17)
+  in
+  check_int "with_ returns f ()" 17 r;
+  match Cdr_obs.Span.roots () with
+  | [ outer ] ->
+      check_str "root name" "outer" outer.Cdr_obs.Span.name;
+      check_int "two children" 2 (List.length outer.Cdr_obs.Span.children);
+      let names = List.map (fun s -> s.Cdr_obs.Span.name) outer.Cdr_obs.Span.children in
+      Alcotest.(check (list string)) "children in start order" [ "a"; "b" ] names;
+      let b = List.nth outer.Cdr_obs.Span.children 1 in
+      check_str "attrs preserved" "v" (List.assoc "k" b.Cdr_obs.Span.attrs);
+      (match b.Cdr_obs.Span.children with
+      | [ b1 ] -> check_str "grandchild" "b1" b1.Cdr_obs.Span.name
+      | _ -> Alcotest.fail "expected one grandchild");
+      Alcotest.(check bool) "durations set" true (outer.Cdr_obs.Span.dur >= 0.0)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_disabled_and_exceptions () =
+  Cdr_obs.Span.reset ();
+  (* recording off: with_ is transparent and retains nothing *)
+  check_int "transparent when off" 5 (Cdr_obs.Span.with_ ~name:"x" (fun () -> 5));
+  check_int "nothing retained" 0 (List.length (Cdr_obs.Span.roots ()));
+  (* timed still times when recording is off *)
+  let v, dt = Cdr_obs.Span.timed ~name:"t" (fun () -> 9) in
+  check_int "timed value" 9 v;
+  Alcotest.(check bool) "timed elapsed >= 0" true (dt >= 0.0);
+  (* spans close on exceptions, so later spans still nest correctly *)
+  Cdr_obs.Span.set_forced true;
+  Fun.protect ~finally:(fun () ->
+      Cdr_obs.Span.set_forced false;
+      Cdr_obs.Span.reset ())
+  @@ fun () ->
+  (try Cdr_obs.Span.with_ ~name:"boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Cdr_obs.Span.with_ ~name:"after" (fun () -> ());
+  let names = List.map (fun s -> s.Cdr_obs.Span.name) (Cdr_obs.Span.roots ()) in
+  Alcotest.(check (list string)) "both roots closed" [ "boom"; "after" ] names
+
+(* ---------- Trace ---------- *)
+
+let test_trace () =
+  let t = Cdr_obs.Trace.create ~name:"mg" () in
+  check_str "name" "mg" (Cdr_obs.Trace.name t);
+  check_int "empty last_iter" 0 (Cdr_obs.Trace.last_iter t);
+  Cdr_obs.Trace.record t ~iter:1 ~residual:1e-2;
+  Cdr_obs.Trace.record t ~iter:2 ~residual:1e-5;
+  Cdr_obs.Trace.record t ~iter:3 ~residual:1e-9;
+  check_int "length" 3 (Cdr_obs.Trace.length t);
+  check_int "last_iter" 3 (Cdr_obs.Trace.last_iter t);
+  let s = Cdr_obs.Trace.samples t in
+  check_int "chronological" 1 s.(0).Cdr_obs.Trace.iter;
+  Alcotest.(check bool)
+    "elapsed monotone" true
+    (s.(0).Cdr_obs.Trace.elapsed <= s.(2).Cdr_obs.Trace.elapsed);
+  Alcotest.(check bool) "rate >= 0" true (Cdr_obs.Trace.decades_per_second t >= 0.0);
+  Cdr_obs.Trace.record_sweeps t ~level:0 ~sweeps:4;
+  Cdr_obs.Trace.record_sweeps t ~level:1 ~sweeps:4;
+  Cdr_obs.Trace.record_sweeps t ~level:0 ~sweeps:4;
+  Alcotest.(check (list (pair int int)))
+    "sweeps by level" [ (0, 8); (1, 4) ] (Cdr_obs.Trace.sweeps_by_level t);
+  check_int "total sweeps" 12 (Cdr_obs.Trace.total_sweeps t);
+  let csv = Cdr_obs.Trace.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "csv rows" 4 (List.length lines);
+  check_str "csv header" "iter,residual,elapsed_s" (List.hd lines);
+  (match String.split_on_char ',' (List.nth lines 1) with
+  | [ it; res; _el ] ->
+      check_int "csv iter" 1 (int_of_string it);
+      Alcotest.(check (float 1e-15)) "csv residual" 1e-2 (float_of_string res)
+  | _ -> Alcotest.fail "csv row shape")
+
+(* ---------- Sink: JSONL file round-trip ---------- *)
+
+let test_sink_jsonl_file () =
+  let path = Filename.temp_file "cdr_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+  @@ fun () ->
+  Alcotest.(check bool) "disabled initially" false (Cdr_obs.Sink.enabled ());
+  let _sink = Cdr_obs.Sink.install_file path in
+  Alcotest.(check bool) "enabled after install" true (Cdr_obs.Sink.enabled ());
+  let t = Cdr_obs.Trace.create ~name:"power" () in
+  Cdr_obs.Trace.record t ~iter:1 ~residual:0.5;
+  Cdr_obs.Trace.record t ~iter:2 ~residual:0.25;
+  Cdr_obs.Span.with_ ~name:"scope" (fun () -> ());
+  Cdr_obs.Sink.close_all ();
+  Alcotest.(check bool) "disabled after close" false (Cdr_obs.Sink.enabled ());
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let events = List.rev_map Cdr_obs.Jsonl.of_string !lines in
+  check_int "three events" 3 (List.length events);
+  let typ e = Option.get (Option.bind (Cdr_obs.Jsonl.member "type" e) Cdr_obs.Jsonl.to_str) in
+  Alcotest.(check (list string))
+    "event types" [ "sample"; "sample"; "span" ] (List.map typ events);
+  let first = List.hd events in
+  check_str "trace name on event" "power"
+    (Option.get (Option.bind (Cdr_obs.Jsonl.member "trace" first) Cdr_obs.Jsonl.to_str));
+  Alcotest.(check (float 0.0))
+    "residual on event" 0.5
+    (Option.get (Option.bind (Cdr_obs.Jsonl.member "residual" first) Cdr_obs.Jsonl.to_float))
+
+(* ---------- Report.run populates iterations from the trace ---------- *)
+
+let small =
+  {
+    Cdr.Config.default with
+    Cdr.Config.grid_points = 32;
+    n_phases = 8;
+    counter_length = 3;
+    max_run = 4;
+    nw_max_atoms = 17;
+    sigma_w = 0.08;
+  }
+
+let test_report_iterations () =
+  let cfg = Cdr.Config.create_exn small in
+  List.iter
+    (fun (name, solver) ->
+      let report = Cdr.Report.run ~solver cfg in
+      let trace = report.Cdr.Report.trace in
+      Alcotest.(check bool) (name ^ ": trace non-empty") true (Cdr_obs.Trace.length trace > 0);
+      Alcotest.(check bool) (name ^ ": iterations > 0") true (report.Cdr.Report.iterations > 0);
+      check_int
+        (name ^ ": iterations match trace")
+        (Cdr_obs.Trace.last_iter trace) report.Cdr.Report.iterations;
+      (match Cdr_obs.Trace.last trace with
+      | Some s ->
+          Alcotest.(check bool)
+            (name ^ ": final residual below tol")
+            true
+            (s.Cdr_obs.Trace.residual < 1e-10)
+      | None -> Alcotest.fail "trace empty");
+      if solver = `Multigrid then
+        Alcotest.(check bool)
+          "multigrid records sweeps on every level" true
+          (List.length (Cdr_obs.Trace.sweeps_by_level trace) > 1))
+    [ ("multigrid", `Multigrid); ("power", `Power); ("gauss-seidel", `Gauss_seidel) ]
+
+let () =
+  Alcotest.run "cdr_obs"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "encoding" `Quick test_jsonl_encoding;
+          Alcotest.test_case "member access" `Quick test_jsonl_member;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "disabled / exceptions" `Quick test_span_disabled_and_exceptions;
+        ] );
+      ("trace", [ Alcotest.test_case "samples, sweeps, csv" `Quick test_trace ]);
+      ("sink", [ Alcotest.test_case "jsonl file round-trip" `Quick test_sink_jsonl_file ]);
+      ( "report",
+        [ Alcotest.test_case "iterations from trace" `Quick test_report_iterations ] );
+    ]
