@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench-telemetry clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling clean
 
 all: build
 
@@ -8,17 +8,30 @@ build:
 test:
 	dune runtest
 
+# The Cdr_par suite on a multi-domain pool: CDR_JOBS=4 makes the default
+# pool size 4 even on single-core CI hosts, so the determinism assertions
+# (jobs=1 vs jobs=4 bitwise) and the obs hammers really cross domains.
+test-par:
+	CDR_JOBS=4 dune exec test/test_par.exe
+
 fmt:
 	dune build @fmt
 
 # Everything CI needs: the build, formatting (dune files; the container has
-# no ocamlformat), and the full test suite including the cdr_obs suite.
-check: build fmt test
+# no ocamlformat), the full test suite, and the parallel suite under a
+# forced multi-domain pool.
+check: build fmt test test-par
 
 # Quick end-to-end telemetry smoke: the solver-telemetry bench section with
 # JSONL events streamed to a file.
 bench-telemetry:
 	CDR_OBS=jsonl:/tmp/cdr_bench_events.jsonl dune exec bench/main.exe -- telemetry
+
+# Domain-pool scaling: sweep + SpMV wall times at jobs 1/2/4/8. On a
+# single-core host expect speedup <= 1; the point there is the bit-identical
+# column staying "identical".
+bench-scaling:
+	dune exec bench/main.exe -- parallel
 
 clean:
 	dune clean

@@ -93,6 +93,25 @@ let widen_solver (s : [ `Multigrid | `Power | `Gauss_seidel ]) =
   (s
     :> [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ])
 
+(* ---------- parallelism (see Cdr_par) ---------- *)
+
+let jobs =
+  let doc =
+    "Worker domains for parallel execution (sweep points, sparse solver kernels). Defaults to \
+     $(b,CDR_JOBS) when set, else the machine's recommended domain count. Results are \
+     bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* every subcommand gets a pool either way; jobs=1 pools spawn no domains and
+   run the same (deterministic) slot grids serially *)
+let with_jobs jobs f =
+  match Cdr_par.Pool.with_pool ?jobs f with
+  | v -> v
+  | exception Invalid_argument msg ->
+      Format.eprintf "cdr_analyze: %s@." msg;
+      exit 2
+
 (* ---------- telemetry flags (see Cdr_obs) ---------- *)
 
 let trace_file =
@@ -112,7 +131,8 @@ let metrics_file =
 (* ---------- analyze ---------- *)
 
 let analyze_term =
-  let run cfg solver trace_file metrics_file =
+  let run cfg solver jobs trace_file metrics_file =
+    with_jobs jobs @@ fun pool ->
     Option.iter
       (fun path ->
         try ignore (Cdr_obs.Sink.install_file path)
@@ -132,10 +152,10 @@ let analyze_term =
           | oc -> (path, oc))
         metrics_file
     in
-    let report = Cdr.Report.run ~solver cfg in
+    let report = Cdr.Report.run ~solver ~pool cfg in
     Format.printf "%a@." Cdr.Report.pp report;
     let model = Cdr.Model.build cfg in
-    let solution = Cdr.Model.solve ~solver:(widen_solver solver) model in
+    let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool model in
     let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
     Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
     Option.iter
@@ -149,7 +169,7 @@ let analyze_term =
       metrics_out;
     Cdr_obs.Sink.close_all ()
   in
-  Term.(const run $ config_term $ solver $ trace_file $ metrics_file)
+  Term.(const run $ config_term $ solver $ jobs $ trace_file $ metrics_file)
 
 let analyze_cmd =
   let doc = "Stationary phase-error density, BER and cycle-slip time for one configuration." in
@@ -162,14 +182,16 @@ let sweep_cmd =
     let doc = "Counter lengths to evaluate." in
     Arg.(value & opt (list int) [ 2; 4; 8; 16; 32 ] & info [ "lengths" ] ~doc)
   in
-  let run cfg solver lengths =
-    let points = Cdr.Sweep.counter_lengths ~solver cfg lengths in
+  let run cfg solver jobs lengths =
+    with_jobs jobs @@ fun pool ->
+    let points = Cdr.Sweep.counter_lengths ~solver ~pool cfg lengths in
     Format.printf "%a@." Cdr.Sweep.pp_points points;
-    let k, ber = Cdr.Sweep.optimal_counter ~solver cfg lengths in
+    (* one point list feeds both the table and the optimum: no re-solving *)
+    let k, ber = Cdr.Sweep.optimal_of_points points in
     Format.printf "optimal counter length: %d (BER %.3e)@." k ber
   in
   let doc = "BER vs counter length (the paper's Figure 5)." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ config_term $ solver $ lengths)
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ config_term $ solver $ jobs $ lengths)
 
 (* ---------- sigma sweep ---------- *)
 
@@ -178,12 +200,13 @@ let sigma_cmd =
     let doc = "Eye-opening jitter levels to evaluate." in
     Arg.(value & opt (list float) [ 0.04; 0.05; 0.0625; 0.08; 0.1 ] & info [ "values" ] ~doc)
   in
-  let run cfg solver sigmas =
-    let points = Cdr.Sweep.sigma_w_values ~solver cfg sigmas in
+  let run cfg solver jobs sigmas =
+    with_jobs jobs @@ fun pool ->
+    let points = Cdr.Sweep.sigma_w_values ~solver ~pool cfg sigmas in
     Format.printf "%a@." Cdr.Sweep.pp_points points
   in
   let doc = "BER vs eye-opening jitter level (the axis of the paper's Figure 4)." in
-  Cmd.v (Cmd.info "sigma" ~doc) Term.(const run $ config_term $ solver $ sigmas)
+  Cmd.v (Cmd.info "sigma" ~doc) Term.(const run $ config_term $ solver $ jobs $ sigmas)
 
 (* ---------- slip ---------- *)
 

@@ -35,7 +35,8 @@ val eye_density : Config.t -> rho:Linalg.Vec.t -> (float * float) array
 val analyze :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
   ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
   Model.t ->
   result * Markov.Solution.t
 (** Solve for the stationary distribution and evaluate everything. [?trace]
-    is forwarded to the solver (see {!Model.solve}). *)
+    and [?pool] are forwarded to the solver (see {!Model.solve}). *)

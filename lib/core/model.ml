@@ -253,18 +253,21 @@ let solver_name = function
   | `Arnoldi -> "arnoldi"
   | `Aggregation -> "aggregation"
 
-let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?trace t =
+let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?trace ?pool t =
   Cdr_obs.Span.with_ ~name:"model.solve" ~attrs:[ ("solver", solver_name solver) ] @@ fun () ->
   Cdr_obs.Metrics.incr "model.solves" ~labels:[ ("solver", solver_name solver) ];
   match solver with
   | `Multigrid ->
-      let solution, _stats = Markov.Multigrid.solve ~tol ?trace ~hierarchy:(hierarchy t) t.chain in
+      let solution, _stats =
+        Markov.Multigrid.solve ~tol ?trace ?pool ~hierarchy:(hierarchy t) t.chain
+      in
       solution
-  | `Power -> Markov.Power.solve ~tol ?trace t.chain
+  | `Power -> Markov.Power.solve ~tol ?trace ?pool t.chain
   | `Gauss_seidel ->
-      Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol ?trace t.chain
-  | `Jacobi -> Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol ?trace t.chain
-  | `Sor omega -> Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol ?trace t.chain
+      Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol ?trace ?pool t.chain
+  | `Jacobi -> Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol ?trace ?pool t.chain
+  | `Sor omega ->
+      Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol ?trace ?pool t.chain
   | `Arnoldi -> Markov.Arnoldi.solve ~tol ?trace t.chain
   | `Aggregation ->
       let partition =

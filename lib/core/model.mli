@@ -49,12 +49,16 @@ val solve :
     [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->
   ?tol:float ->
   ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
   t ->
   Markov.Solution.t
 (** Stationary distribution; default [`Multigrid] with the structured
     {!hierarchy} (and tolerance [1e-12]). [?trace] is forwarded to the
     selected solver's convergence recorder ([`Aggregation] does not record
-    one). The whole solve runs inside a ["model.solve"] span. *)
+    one). [?pool] is forwarded to the solvers that have deterministic
+    parallel kernels (multigrid, power, the splittings); [`Aggregation] and
+    [`Arnoldi] ignore it. The whole solve runs inside a ["model.solve"]
+    span. *)
 
 val solver_name :
   [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->

@@ -10,7 +10,7 @@ type t = {
   trace : Cdr_obs.Trace.t;
 }
 
-let run ?(solver = `Multigrid) cfg =
+let run ?(solver = `Multigrid) ?pool cfg =
   Cdr_obs.Span.with_ ~name:"report.run" @@ fun () ->
   let model = Model.build cfg in
   let trace =
@@ -23,7 +23,7 @@ let run ?(solver = `Multigrid) cfg =
       ()
   in
   let (result, solution), solve_seconds =
-    Cdr_obs.Span.timed ~name:"report.solve" (fun () -> Ber.analyze ~solver ~trace model)
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () -> Ber.analyze ~solver ~trace ?pool model)
   in
   (* every solver records its outer-iteration count in the trace; the
      Solution count is the fallback for an instantly-converged (empty) trace *)

@@ -20,11 +20,12 @@ type t = {
   trace : Cdr_obs.Trace.t; (* per-iteration residual trace of the solve *)
 }
 
-val run : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> t
+val run : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> ?pool:Cdr_par.Pool.t -> Config.t -> t
 (** Build, solve, analyze, and time everything. The solve runs with a fresh
     {!Cdr_obs.Trace.t} (returned in [trace]); [iterations] is populated from
     that trace uniformly for all three solver choices, so V-cycles, power
-    steps and Gauss-Seidel sweeps are counted the same way. *)
+    steps and Gauss-Seidel sweeps are counted the same way. [?pool] is
+    forwarded to the solver kernels (see {!Model.solve}). *)
 
 val header_line : t -> string
 

@@ -5,23 +5,32 @@ let point ~attr_name ~attr_value config solver =
   Cdr_obs.Metrics.incr "sweep.points";
   { config; report = Report.run ?solver config }
 
-let counter_lengths ?solver base lengths =
-  List.map
+(* One Report.run per pool slot: the sweep point is the parallel unit, so the
+   solver inside each point runs serially (handing the pool down as well
+   would only contend with the point-level batch). Order is preserved and
+   every point is a self-contained solve, so the point list is identical for
+   any job count. *)
+let map_points ?pool f values =
+  match pool with
+  | None -> List.map f values
+  | Some pool -> Cdr_par.Pool.map_list pool f values
+
+let counter_lengths ?solver ?pool base lengths =
+  map_points ?pool
     (fun k ->
       let config = Config.create_exn { base with Config.counter_length = k } in
       point ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
     lengths
 
-let sigma_w_values ?solver base sigmas =
-  List.map
+let sigma_w_values ?solver ?pool base sigmas =
+  map_points ?pool
     (fun sigma ->
       let config = Config.create_exn { base with Config.sigma_w = sigma } in
       point ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
     sigmas
 
-let optimal_counter ?solver base lengths =
-  match counter_lengths ?solver base lengths with
-  | [] -> invalid_arg "Sweep.optimal_counter: no candidate lengths"
+let optimal_of_points = function
+  | [] -> invalid_arg "Sweep.optimal_of_points: no points"
   | first :: rest ->
       let best =
         List.fold_left
@@ -29,6 +38,11 @@ let optimal_counter ?solver base lengths =
           first rest
       in
       (best.config.Config.counter_length, best.report.Report.ber)
+
+let optimal_counter ?solver ?pool base lengths =
+  match lengths with
+  | [] -> invalid_arg "Sweep.optimal_counter: no candidate lengths"
+  | _ -> optimal_of_points (counter_lengths ?solver ?pool base lengths)
 
 let pp_points ppf points =
   Format.fprintf ppf "@[<v>%-8s %-8s %-12s %-10s %-8s %s@,"

@@ -1,18 +1,44 @@
 (** Parameter sweeps over the CDR design space — the experiments of the
     paper's Figures 4 and 5 and the "evaluation of a number of alternative
-    ... architectures ... in a short time" motivation. *)
+    ... architectures ... in a short time" motivation.
+
+    Each sweep point is an independent stationary solve, so the sweeps are
+    embarrassingly parallel: pass a [Cdr_par.Pool.t] to run one {!Report.run}
+    per pool worker. The point list is order-preserving and bit-identical for
+    any job count (apart from the wall-clock timing fields, which measure the
+    run they came from). *)
 
 type point = { config : Config.t; report : Report.t }
 
-val counter_lengths : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> int list -> point list
+val counter_lengths :
+  ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?pool:Cdr_par.Pool.t ->
+  Config.t ->
+  int list ->
+  point list
 (** BER for each counter length, all other parameters fixed (Figure 5). *)
 
-val sigma_w_values : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> float list -> point list
+val sigma_w_values :
+  ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?pool:Cdr_par.Pool.t ->
+  Config.t ->
+  float list ->
+  point list
 (** BER for each eye-opening jitter level (Figure 4's two panels as the
     endpoints of a continuum). *)
 
-val optimal_counter : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> Config.t -> int list -> int * float
-(** The counter length with the lowest BER among the candidates (the design
+val optimal_of_points : point list -> int * float
+(** The counter length and BER of the lowest-BER point in an already
+    computed sweep — share one point list between the table and the optimum
+    instead of re-running every solve. Raises [Invalid_argument] on []. *)
+
+val optimal_counter :
+  ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?pool:Cdr_par.Pool.t ->
+  Config.t ->
+  int list ->
+  int * float
+(** [optimal_of_points] of a fresh {!counter_lengths} sweep (the design
     answer the paper derives: an interior optimum where both noise sources
     contribute). *)
 

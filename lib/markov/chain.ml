@@ -24,12 +24,12 @@ let n_states c = Sparse.Csr.rows c.tpm
 
 let tpm c = c.tpm
 
-let step c pi = Sparse.Csr.vec_mul pi c.tpm
+let step ?pool c pi = Sparse.Csr.vec_mul ?pool pi c.tpm
 
-let step_into c pi out = Sparse.Csr.vec_mul_into pi c.tpm out
+let step_into ?pool c pi out = Sparse.Csr.vec_mul_into ?pool pi c.tpm out
 
-let residual c pi =
-  let next = step c pi in
+let residual ?pool c pi =
+  let next = step ?pool c pi in
   Linalg.Vec.dist_l1 next pi
 
 let uniform c =

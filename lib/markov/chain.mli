@@ -20,12 +20,14 @@ val n_states : t -> int
 
 val tpm : t -> Sparse.Csr.t
 
-val step : t -> Linalg.Vec.t -> Linalg.Vec.t
-(** [step c pi] is the distribution after one transition, [pi * P]. *)
+val step : ?pool:Cdr_par.Pool.t -> t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [step c pi] is the distribution after one transition, [pi * P]. [?pool]
+    parallelizes the underlying {!Sparse.Csr.vec_mul} (deterministically:
+    same bits for any job count). *)
 
-val step_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+val step_into : ?pool:Cdr_par.Pool.t -> t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
 
-val residual : t -> Linalg.Vec.t -> float
+val residual : ?pool:Cdr_par.Pool.t -> t -> Linalg.Vec.t -> float
 (** [residual c pi = ||pi P - pi||_1], the stationarity defect. *)
 
 val uniform : t -> Linalg.Vec.t

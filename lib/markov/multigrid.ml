@@ -189,7 +189,7 @@ type workspace = {
 }
 
 let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ?trace
-    ~hierarchy chain =
+    ?pool ~hierarchy chain =
   let n = Chain.n_states chain in
   validate_hierarchy ~n hierarchy;
   let fine_csr = Chain.tpm chain in
@@ -297,7 +297,7 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
   while !continue_ && !cycles < max_cycles do
     cycle 0;
     incr cycles;
-    let residual = Chain.residual chain x0 in
+    let residual = Chain.residual ?pool chain x0 in
     (match trace with
     | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual
     | None -> ());

@@ -31,12 +31,16 @@ val solve :
   ?post_smooth:int ->
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
   hierarchy:Partition.t list ->
   Chain.t ->
   Solution.t * stats
 (** Defaults: [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
     [post_smooth = 2]. Raises [Invalid_argument] when the hierarchy sizes do
-    not chain up with the fine chain.
+    not chain up with the fine chain. [?pool] parallelizes the per-cycle
+    stationarity-residual SpMV on the fine level (the Gauss-Seidel smoother
+    itself has a loop-carried dependency and stays serial so cycles remain
+    deterministic).
 
     With [?trace], one sample per V-cycle (the l1 stationarity residual the
     convergence test uses — computed per cycle regardless, so tracing adds no

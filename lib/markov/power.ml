@@ -1,4 +1,4 @@
-let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace chain =
+let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace ?pool chain =
   let pi = ref (match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain) in
   Linalg.Vec.normalize_l1 !pi;
   let next = Linalg.Vec.create (Chain.n_states chain) in
@@ -6,7 +6,7 @@ let solve ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace chain =
   let iterations = ref 0 in
   let continue_ = ref (Chain.n_states chain > 0) in
   while !continue_ && !iterations < max_iter do
-    Chain.step_into chain !pi !scratch;
+    Chain.step_into ?pool chain !pi !scratch;
     Linalg.Vec.normalize_l1 !scratch;
     let diff = Linalg.Vec.dist_l1 !scratch !pi in
     let tmp = !pi in

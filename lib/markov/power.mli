@@ -9,12 +9,15 @@ val solve :
   ?max_iter:int ->
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
   Chain.t ->
   Solution.t
 (** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform]. With
     [?trace], one sample per iteration: the l1 step difference
     [||pi_{k+1} - pi_k||_1] (which for a normalized power step is the l1
-    stationarity residual) is recorded as the residual. *)
+    stationarity residual) is recorded as the residual. [?pool] parallelizes
+    the [x * P] kernel of every step; pooled runs are bit-identical for any
+    job count. *)
 
 val sweeps : Chain.t -> Linalg.Vec.t -> int -> Linalg.Vec.t
 (** [sweeps c pi n] applies [n] normalized power steps (used as multigrid

@@ -13,7 +13,7 @@ let denominators diag =
       if denom < 1e-300 then 1e-300 else denom)
     diag
 
-let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace chain =
+let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace ?pool chain =
   (match method_ with
   | Sor omega when omega <= 0.0 || omega >= 2.0 ->
       invalid_arg "Splitting.solve: SOR omega must lie in (0, 2)"
@@ -35,7 +35,7 @@ let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace chain =
            is damped by 1/2 because pure Jacobi has iteration-matrix spectrum
            touching -1 on periodic chains (it oscillates instead of
            converging); damping maps the spectrum into the unit disk *)
-        let y = Sparse.Csr.mul_vec pt prev in
+        let y = Sparse.Csr.mul_vec ?pool pt prev in
         for i = 0 to n - 1 do
           let jacobi_value = (y.(i) -. (diag.(i) *. prev.(i))) /. denom.(i) in
           x.(i) <- 0.5 *. (prev.(i) +. jacobi_value)

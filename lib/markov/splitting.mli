@@ -20,12 +20,15 @@ val solve :
   ?max_iter:int ->
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
   Chain.t ->
   Solution.t
 (** Defaults: [tol = 1e-12], [max_iter = 100_000], [init = uniform].
     Raises [Invalid_argument] for an out-of-range SOR parameter. With
     [?trace], one sample per sweep recording the l1 step difference the
-    convergence test uses as the residual. *)
+    convergence test uses as the residual. [?pool] parallelizes the Jacobi
+    sweep's [P^T x] product (deterministically); Gauss-Seidel and SOR keep
+    their loop-carried dependency and run serially regardless. *)
 
 val sweeps_gauss_seidel : transposed:Sparse.Csr.t -> Linalg.Vec.t -> int -> unit
 (** In-place Gauss-Seidel smoothing given the pre-transposed TPM; used by the

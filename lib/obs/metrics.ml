@@ -16,8 +16,19 @@ type cell = C of int ref | G of float ref | H of histogram
 
 let registry : (string * (string * string) list, cell) Hashtbl.t = Hashtbl.create 64
 
+(* One mutex guards the registry table and every cell mutation, so parallel
+   sweep points can record without torn updates or lost increments. The
+   sections are a few instructions; contention is negligible next to the
+   solves being instrumented. *)
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
 let key name labels = (name, List.sort compare labels)
 
+(* call only with [mutex] held *)
 let find_or_create name labels create =
   let k = key name labels in
   match Hashtbl.find_opt registry k with
@@ -30,19 +41,22 @@ let find_or_create name labels create =
 let wrong_kind name = invalid_arg (Printf.sprintf "Metrics: %s already registered with another kind" name)
 
 let incr ?(labels = []) name =
-  match find_or_create name labels (fun () -> C (ref 0)) with
-  | C r -> r := !r + 1
-  | G _ | H _ -> wrong_kind name
+  locked (fun () ->
+      match find_or_create name labels (fun () -> C (ref 0)) with
+      | C r -> r := !r + 1
+      | G _ | H _ -> wrong_kind name)
 
 let add ?(labels = []) name n =
-  match find_or_create name labels (fun () -> C (ref 0)) with
-  | C r -> r := !r + n
-  | G _ | H _ -> wrong_kind name
+  locked (fun () ->
+      match find_or_create name labels (fun () -> C (ref 0)) with
+      | C r -> r := !r + n
+      | G _ | H _ -> wrong_kind name)
 
 let set_gauge ?(labels = []) name v =
-  match find_or_create name labels (fun () -> G (ref 0.0)) with
-  | G r -> r := v
-  | C _ | H _ -> wrong_kind name
+  locked (fun () ->
+      match find_or_create name labels (fun () -> G (ref 0.0)) with
+      | G r -> r := v
+      | C _ | H _ -> wrong_kind name)
 
 let bucket_of ~base v =
   if (not (Float.is_finite v)) || v <= 0.0 then min_int
@@ -63,37 +77,39 @@ let bucket_bounds ~base e = (base ** float_of_int e, base ** float_of_int (e + 1
 
 let observe ?(labels = []) ?(base = 10.0) name v =
   if base <= 1.0 then invalid_arg "Metrics.observe: base must exceed 1";
-  let h =
-    match
-      find_or_create name labels (fun () ->
-          H
-            {
-              count = 0;
-              sum = 0.0;
-              min_v = Float.infinity;
-              max_v = Float.neg_infinity;
-              base;
-              buckets = Hashtbl.create 16;
-            })
-    with
-    | H h -> h
-    | C _ | G _ -> wrong_kind name
-  in
-  h.count <- h.count + 1;
-  h.sum <- h.sum +. v;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v;
-  let b = bucket_of ~base:h.base v in
-  Hashtbl.replace h.buckets b (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets b))
+  locked (fun () ->
+      let h =
+        match
+          find_or_create name labels (fun () ->
+              H
+                {
+                  count = 0;
+                  sum = 0.0;
+                  min_v = Float.infinity;
+                  max_v = Float.neg_infinity;
+                  base;
+                  buckets = Hashtbl.create 16;
+                })
+        with
+        | H h -> h
+        | C _ | G _ -> wrong_kind name
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      let b = bucket_of ~base:h.base v in
+      Hashtbl.replace h.buckets b (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets b)))
 
 let dump () =
-  Hashtbl.fold
-    (fun (name, labels) cell acc ->
-      let kind =
-        match cell with C r -> Counter !r | G r -> Gauge !r | H h -> Histogram h
-      in
-      { name; labels; kind } :: acc)
-    registry []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun (name, labels) cell acc ->
+          let kind =
+            match cell with C r -> Counter !r | G r -> Gauge !r | H h -> Histogram h
+          in
+          { name; labels; kind } :: acc)
+        registry [])
   |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
 
 let label_events labels = List.map (fun (k, v) -> (k, Jsonl.Str v)) labels
@@ -158,4 +174,4 @@ let pp ppf () =
                      Format.fprintf ppf "    [%.3g, %.3g) : %d@." lo hi n))
       series
 
-let reset () = Hashtbl.reset registry
+let reset () = locked (fun () -> Hashtbl.reset registry)

@@ -5,7 +5,11 @@
     facts ("chains built", "V-cycles run", "solve seconds" …) without every
     call site inventing its own plumbing. Series are created lazily on first
     use; the same [(name, labels)] pair always resolves to the same series
-    regardless of label order. *)
+    regardless of label order.
+
+    The registry is domain-safe: every mutation and snapshot runs under one
+    internal mutex, so parallel sweep points (see [Cdr_par.Pool]) can record
+    concurrently without lost increments or torn histogram updates. *)
 
 type histogram = {
   mutable count : int;

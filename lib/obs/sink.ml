@@ -1,25 +1,37 @@
 type t = { id : int; write : Jsonl.t -> unit; flush : unit -> unit; close : unit -> unit }
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
-let sinks : t list ref = ref []
+(* The live list is an atomic so [enabled]/[emit] on hot paths never block;
+   the mutex serializes writes (JSONL lines from concurrent domains must not
+   interleave mid-line) and list mutations. *)
+let sinks : t list Atomic.t = Atomic.make []
 
-let enabled () = !sinks <> []
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let enabled () = Atomic.get sinks <> []
 
 let emit event =
-  match !sinks with
+  match Atomic.get sinks with
   | [] -> ()
-  | live -> List.iter (fun s -> s.write event) live
+  | _ ->
+      (* re-read under the lock: a concurrent [close_all] must not race a
+         write into a closed channel *)
+      locked (fun () -> List.iter (fun s -> s.write event) (Atomic.get sinks))
 
 let install sink =
-  sinks := sink :: !sinks;
+  locked (fun () -> Atomic.set sinks (sink :: Atomic.get sinks));
   sink
 
 let install_jsonl ?(close_channel = false) oc =
-  incr next_id;
+  let id = 1 + Atomic.fetch_and_add next_id 1 in
   install
     {
-      id = !next_id;
+      id;
       write = (fun event -> output_string oc (Jsonl.to_string event); output_char oc '\n');
       flush = (fun () -> flush oc);
       close = (fun () -> flush oc; if close_channel then close_out_noerr oc);
@@ -28,14 +40,24 @@ let install_jsonl ?(close_channel = false) oc =
 let install_file path = install_jsonl ~close_channel:true (open_out path)
 
 let remove sink =
-  if List.exists (fun s -> s.id = sink.id) !sinks then begin
-    sinks := List.filter (fun s -> s.id <> sink.id) !sinks;
-    sink.close ()
-  end
+  let removed =
+    locked (fun () ->
+        let live = Atomic.get sinks in
+        if List.exists (fun s -> s.id = sink.id) live then begin
+          Atomic.set sinks (List.filter (fun s -> s.id <> sink.id) live);
+          true
+        end
+        else false)
+  in
+  if removed then sink.close ()
 
 let close_all () =
-  let live = !sinks in
-  sinks := [];
+  let live =
+    locked (fun () ->
+        let live = Atomic.get sinks in
+        Atomic.set sinks [];
+        live)
+  in
   List.iter (fun s -> s.close ()) live
 
 let init_from_env () =

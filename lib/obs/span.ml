@@ -7,21 +7,35 @@ type t = {
   mutable children : t list; (* reversed while open; start order once closed *)
 }
 
-let forced = ref false
+let forced = Atomic.make false
 
-let recording () = !forced || Sink.enabled ()
+let recording () = Atomic.get forced || Sink.enabled ()
 
-let set_forced b = forced := b
+let set_forced b = Atomic.set forced b
 
-let stack : t list ref = ref []
+(* The open-span stack is per-domain (domain-local storage): spans started on
+   a worker domain nest among themselves and never corrupt another domain's
+   tree. Finished roots from every domain land in one mutex-guarded list so
+   summaries aggregate the whole process. *)
+let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let finished : t list ref = ref [] (* reversed *)
+let stack () = Domain.DLS.get stack_key
 
-let roots () = List.rev !finished
+let finished_mutex = Mutex.create ()
+
+let finished : t list ref = ref [] (* reversed; guarded by [finished_mutex] *)
+
+let roots () =
+  Mutex.lock finished_mutex;
+  let r = List.rev !finished in
+  Mutex.unlock finished_mutex;
+  r
 
 let reset () =
-  stack := [];
-  finished := []
+  stack () := [];
+  Mutex.lock finished_mutex;
+  finished := [];
+  Mutex.unlock finished_mutex
 
 let emit_event sp ~depth ~path =
   if Sink.enabled () then
@@ -32,6 +46,7 @@ let emit_event sp ~depth ~path =
             ("name", Jsonl.Str sp.name);
             ("path", Jsonl.Str path);
             ("depth", Jsonl.Num (float_of_int depth));
+            ("domain", Jsonl.Num (float_of_int (Domain.self () :> int)));
             ("start_s", Jsonl.Num sp.start);
             ("dur_s", Jsonl.Num sp.dur);
             ("minor_words", Jsonl.Num sp.minor_words);
@@ -42,6 +57,7 @@ let close sp start_minor =
   sp.dur <- Clock.now () -. sp.start;
   sp.minor_words <- Clock.minor_words () -. start_minor;
   sp.children <- List.rev sp.children;
+  let stack = stack () in
   (* pop this span; on an unbalanced stack (an instrument leaked an open
      span), drop the strays above it rather than corrupting the tree *)
   let rec pop = function
@@ -55,7 +71,10 @@ let close sp start_minor =
   let path = if path = "" then sp.name else path ^ "/" ^ sp.name in
   (match !stack with
   | parent :: _ -> parent.children <- sp :: parent.children
-  | [] -> finished := sp :: !finished);
+  | [] ->
+      Mutex.lock finished_mutex;
+      finished := sp :: !finished;
+      Mutex.unlock finished_mutex);
   emit_event sp ~depth ~path
 
 let with_ ?(attrs = []) ~name f =
@@ -65,6 +84,7 @@ let with_ ?(attrs = []) ~name f =
       { name; attrs; start = Clock.now (); dur = 0.0; minor_words = 0.0; children = [] }
     in
     let start_minor = Clock.minor_words () in
+    let stack = stack () in
     stack := sp :: !stack;
     match f () with
     | v ->

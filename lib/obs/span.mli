@@ -8,7 +8,13 @@
     Recording only happens while {!recording} is true — a sink is installed
     ({!Sink.enabled}) or recording was forced with {!set_forced} (tests, the
     bench harness). Otherwise [with_ ~name f] is [f ()] plus one flag test:
-    instrumented code pays nothing when telemetry is off. *)
+    instrumented code pays nothing when telemetry is off.
+
+    Domain safety: the open-span stack is domain-local, so spans opened on a
+    [Cdr_par.Pool] worker nest among that worker's spans only; completed
+    top-level spans from every domain are collected into one shared list
+    ({!roots}), and each emitted span event carries a ["domain"] field with
+    the recording domain's id. *)
 
 type t = {
   name : string;

@@ -1,0 +1,66 @@
+(** A fixed pool of worker domains for data-parallel execution.
+
+    The pool exists so the embarrassingly parallel workloads of the analysis
+    — sweep points (one stationary solve each) and the row blocks of sparse
+    kernels — can use every core without each call site reinventing domain
+    management.
+
+    Design rules, chosen so parallel results are trustworthy:
+
+    - {b Determinism.} Every combinator assigns work to fixed slots and
+      combines slot results in a fixed order, both independent of the job
+      count. A run with [jobs = 1] and a run with [jobs = 8] produce
+      bit-identical results (provided the user function is itself
+      deterministic and indexes are independent).
+    - {b Lazy, bounded domains.} Worker domains ([jobs - 1] of them; the
+      caller is the remaining worker) are spawned on first use and only when
+      [jobs > 1], so a [jobs = 1] pool adds no threads and no allocation to
+      the serial path.
+    - {b No re-entrancy surprises.} A pool executes one batch at a time. A
+      batch submitted while another is in flight (e.g. a parallel sweep point
+      that itself calls a parallel kernel with the same pool) runs serially
+      on the calling domain instead of deadlocking. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [CDR_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs] total workers (the calling domain counts as one; the
+    pool spawns [jobs - 1] domains lazily). Default: {!default_jobs}.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; the pool afterwards runs
+    every batch serially on the caller. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] (also on exception). *)
+
+val run_slots : t -> slots:int -> (int -> unit) -> unit
+(** [run_slots t ~slots f] runs [f 0 .. f (slots - 1)], distributing slots
+    over the workers. Blocks until all slots finish; the first slot exception
+    (if any) is re-raised in the caller. This is the primitive the other
+    combinators (and the sparse kernels' fixed slot grids) are built on. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for t n f] runs [f 0 .. f (n - 1)] in chunks of [chunk]
+    consecutive indexes (default: an even split into at most [4 * jobs]
+    chunks). [f] must only write state owned by its own index. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving map: result index [i] is [f a.(i)]. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} over a list, preserving order. *)
+
+val parallel_reduce : t -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> init:'a -> int -> 'a
+(** [parallel_reduce t ~map ~combine ~init n] folds
+    [combine (... (combine init (map 0)) ...) (map (n-1))] with the [map]
+    calls evaluated in parallel but combined strictly in index order, so the
+    reduction is deterministic for any job count (even when [combine] is not
+    associative, e.g. float addition). *)

@@ -100,20 +100,39 @@ let fold m ~init ~f =
   iter m (fun i j v -> acc := f !acc i j v);
   !acc
 
-let mul_vec m x =
-  if Array.length x <> m.cols then invalid_arg "Csr.mul_vec: dimension mismatch";
-  Array.init m.rows (fun i ->
-      let acc = ref 0.0 in
-      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
-      done;
-      !acc)
+(* Fixed slot grid for the parallel kernels. The slot count (and with it
+   every chunk boundary and partial-merge grouping) depends only on the
+   matrix, never on the pool's job count, so pooled results are bit-identical
+   at jobs=1 and jobs=N. Small matrices collapse to one slot: the overhead of
+   a batch exceeds the work. *)
+let par_slot_count m =
+  if nnz m < 1 lsl 14 then 1 else min 16 (max 1 (m.rows / 64))
 
-let vec_mul_into x m y =
-  if Array.length x <> m.rows then invalid_arg "Csr.vec_mul: dimension mismatch";
-  if Array.length y <> m.cols then invalid_arg "Csr.vec_mul: output dimension mismatch";
-  Array.fill y 0 (Array.length y) 0.0;
-  for i = 0 to m.rows - 1 do
+let dot_row m x i =
+  let acc = ref 0.0 in
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+  done;
+  !acc
+
+let mul_vec ?pool m x =
+  if Array.length x <> m.cols then invalid_arg "Csr.mul_vec: dimension mismatch";
+  let slots = match pool with None -> 1 | Some _ -> par_slot_count m in
+  if slots <= 1 then Array.init m.rows (dot_row m x)
+  else begin
+    (* row partition: every output element is an independent dot product, so
+       any schedule reproduces the serial result bit-for-bit *)
+    let y = Array.make m.rows 0.0 in
+    Cdr_par.Pool.run_slots (Option.get pool) ~slots (fun s ->
+        let lo = s * m.rows / slots and hi = ((s + 1) * m.rows / slots) - 1 in
+        for i = lo to hi do
+          y.(i) <- dot_row m x i
+        done);
+    y
+  end
+
+let scatter_rows m x y ~lo ~hi =
+  for i = lo to hi do
     let xi = x.(i) in
     if xi <> 0.0 then
       for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
@@ -121,9 +140,46 @@ let vec_mul_into x m y =
       done
   done
 
-let vec_mul x m =
+let vec_mul_into ?pool x m y =
+  if Array.length x <> m.rows then invalid_arg "Csr.vec_mul: dimension mismatch";
+  if Array.length y <> m.cols then invalid_arg "Csr.vec_mul: output dimension mismatch";
+  let slots = match pool with None -> 1 | Some _ -> par_slot_count m in
+  if slots <= 1 then begin
+    Array.fill y 0 (Array.length y) 0.0;
+    scatter_rows m x y ~lo:0 ~hi:(m.rows - 1)
+  end
+  else begin
+    (* x*P over CSR rows scatters into shared output, so each slot of rows
+       accumulates into its own partial vector; the partials are then merged
+       pairwise in a fixed tree. Both the slot grid and the tree shape are
+       independent of the job count, hence deterministic (see DESIGN.md). *)
+    let pool = Option.get pool in
+    let partials = Array.init slots (fun _ -> Array.make m.cols 0.0) in
+    Cdr_par.Pool.run_slots pool ~slots (fun s ->
+        scatter_rows m x partials.(s) ~lo:(s * m.rows / slots)
+          ~hi:(((s + 1) * m.rows / slots) - 1));
+    let height = ref 1 in
+    while !height < slots do
+      let stride = 2 * !height in
+      let pairs = (slots + stride - 1) / stride in
+      let h = !height in
+      Cdr_par.Pool.run_slots pool ~slots:pairs (fun p ->
+          let a = p * stride in
+          let b = a + h in
+          if b < slots then begin
+            let pa = partials.(a) and pb = partials.(b) in
+            for j = 0 to m.cols - 1 do
+              pa.(j) <- pa.(j) +. pb.(j)
+            done
+          end);
+      height := stride
+    done;
+    Array.blit partials.(0) 0 y 0 m.cols
+  end
+
+let vec_mul ?pool x m =
   let y = Array.make m.cols 0.0 in
-  vec_mul_into x m y;
+  vec_mul_into ?pool x m y;
   y
 
 let transpose m =

@@ -39,15 +39,21 @@ val iter : t -> (int -> int -> float -> unit) -> unit
 
 val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
 
-val mul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
-(** [mul_vec a x = a * x]. *)
+val mul_vec : ?pool:Cdr_par.Pool.t -> t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [mul_vec a x = a * x]. With [?pool], rows are computed in parallel over a
+    fixed row partition; every output element is an independent dot product,
+    so the result is bit-identical to the serial one for any job count. *)
 
-val vec_mul : Linalg.Vec.t -> t -> Linalg.Vec.t
+val vec_mul : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> t -> Linalg.Vec.t
 (** [vec_mul x a = x * a] (row vector times matrix); the kernel of power
     iteration on a row-stochastic matrix. *)
 
-val vec_mul_into : Linalg.Vec.t -> t -> Linalg.Vec.t -> unit
-(** [vec_mul_into x a y] stores [x * a] into [y] without allocating. *)
+val vec_mul_into : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> t -> Linalg.Vec.t -> unit
+(** [vec_mul_into x a y] stores [x * a] into [y]; without [?pool] it does not
+    allocate. With [?pool], row slots scatter into per-slot partial outputs
+    merged by a fixed-shape tree reduction: deterministic across job counts
+    (pooled jobs=1 and jobs=N agree bitwise), though the float-summation
+    grouping differs from the serial path's by design — see DESIGN.md. *)
 
 val transpose : t -> t
 
