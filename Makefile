@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json clean
 
 all: build
 
@@ -26,6 +26,13 @@ check: build fmt test test-par
 # JSONL events streamed to a file.
 bench-telemetry:
 	CDR_OBS=jsonl:/tmp/cdr_bench_events.jsonl dune exec bench/main.exe -- telemetry
+
+# Machine-readable benchmark summary: the WARM-VS-COLD continuation section
+# (cold vs warm-started sigma sweep on the default grid, cache hit/miss
+# counts, per-point BER agreement) plus per-section wall times and metric
+# deltas written to BENCH.json (path overridable via CDR_BENCH_JSON).
+bench-json:
+	dune exec bench/main.exe -- warm
 
 # Domain-pool scaling: sweep + SpMV wall times at jobs 1/2/4/8. On a
 # single-core host expect speedup <= 1; the point there is the bit-identical

@@ -495,6 +495,48 @@ let exp_parallel () =
     "order-preserving reduction); on a single-core host the pool degrades gracefully@.";
   Format.printf "(expect speedup <= 1 there — the scaling needs real cores).@."
 
+(* ---------- WARM-VS-COLD: the setup/solve split and continuation sweeps ---------- *)
+
+let exp_warm () =
+  section "WARM-VS-COLD: warm-started continuation sweep vs independent cold solves";
+  let base = Cdr.Config.default in
+  (* a fine continuation sweep: adjacent sigmas close enough that most share
+     one n_w lattice support, hence one reachable set and sparsity pattern —
+     the regime warm-starting is built for (resolving BER vs sigma finely) *)
+  let sigmas = List.init 16 (fun i -> 0.0610 +. (0.0001 *. float_of_int i)) in
+  Format.printf "sigma sweep, %d points on the default grid (%d bins):@.@." (List.length sigmas)
+    base.Cdr.Config.grid_points;
+  let counter_of name =
+    List.fold_left
+      (fun acc s ->
+        match s.Cdr_obs.Metrics.kind with
+        | Cdr_obs.Metrics.Counter n when s.Cdr_obs.Metrics.name = name -> acc + n
+        | _ -> acc)
+      0 (Cdr_obs.Metrics.dump ())
+  in
+  let cold_points, cold_t = time (fun () -> Cdr.Sweep.sigma_w_values base sigmas) in
+  let hits0 = counter_of "solver_cache.hits" and miss0 = counter_of "solver_cache.misses" in
+  let warm_points, warm_t =
+    time (fun () -> Cdr.Sweep.sigma_w_values ~strategy:Cdr.Sweep.warm base sigmas)
+  in
+  let hits = counter_of "solver_cache.hits" - hits0
+  and misses = counter_of "solver_cache.misses" - miss0 in
+  (* same convergence test either way; only the starting point and the
+     symbolic setup are reused, so every point must agree to solver accuracy *)
+  let worst =
+    List.fold_left2
+      (fun acc c w ->
+        let bc = c.Cdr.Sweep.report.Cdr.Report.ber and bw = w.Cdr.Sweep.report.Cdr.Report.ber in
+        Float.max acc (Float.abs (bc -. bw) /. Float.max bc 1e-300))
+      0.0 cold_points warm_points
+  in
+  Format.printf "  cold: %.2fs  warm: %.2fs  speedup: %.2fx@." cold_t warm_t (cold_t /. warm_t);
+  Format.printf "  multigrid setup cache: %d hits, %d misses over %d points@." hits misses
+    (List.length sigmas);
+  Format.printf "  worst relative BER deviation: %.2e (%s)@.@." worst
+    (if worst <= 1e-6 then "within solver tolerance" else "EXCEEDS TOLERANCE (bug!)");
+  Format.printf "%a@." Cdr.Sweep.pp_points warm_points
+
 (* ---------- Bechamel kernel micro-benchmarks ---------- *)
 
 let kernels () =
@@ -561,8 +603,58 @@ let sections =
     ("extensions", exp_extensions);
     ("telemetry", exp_telemetry);
     ("parallel", exp_parallel);
+    ("warm", exp_warm);
     ("kernels", kernels);
   ]
+
+(* ---------- machine-readable summary: BENCH.json ---------- *)
+
+(* One flat counter snapshot ("name" or "name{k=v,...}" -> value); per-section
+   deltas against it make the JSON self-contained without resetting the live
+   registry mid-run. *)
+let counters_snapshot () =
+  List.filter_map
+    (fun s ->
+      match s.Cdr_obs.Metrics.kind with
+      | Cdr_obs.Metrics.Counter n ->
+          let key =
+            match s.Cdr_obs.Metrics.labels with
+            | [] -> s.Cdr_obs.Metrics.name
+            | labels ->
+                s.Cdr_obs.Metrics.name ^ "{"
+                ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+                ^ "}"
+          in
+          Some (key, n)
+      | _ -> None)
+    (Cdr_obs.Metrics.dump ())
+
+let counters_delta before after =
+  List.filter_map
+    (fun (k, n) ->
+      let d = n - Option.value ~default:0 (List.assoc_opt k before) in
+      if d <> 0 then Some (k, Cdr_obs.Jsonl.Num (float_of_int d)) else None)
+    after
+
+let bench_json_path =
+  match Sys.getenv_opt "CDR_BENCH_JSON" with Some p -> p | None -> "BENCH.json"
+
+let write_bench_json per_section total =
+  let sections_json =
+    List.map
+      (fun (name, seconds, counters) ->
+        (name, Cdr_obs.Jsonl.Obj [ ("seconds", Cdr_obs.Jsonl.Num seconds); ("counters", Cdr_obs.Jsonl.Obj counters) ]))
+      per_section
+  in
+  let json =
+    Cdr_obs.Jsonl.Obj
+      [ ("total_seconds", Cdr_obs.Jsonl.Num total); ("sections", Cdr_obs.Jsonl.Obj sections_json) ]
+  in
+  let oc = open_out bench_json_path in
+  output_string oc (Cdr_obs.Jsonl.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "machine-readable summary written to %s@." bench_json_path
 
 let () =
   Cdr_obs.Sink.init_from_env ();
@@ -576,9 +668,18 @@ let () =
         (String.concat " " (List.map fst sections));
       exit 1
   | selected ->
-      let (), total = time (fun () -> List.iter (fun (_, f) -> f ()) selected) in
+      let per_section =
+        List.map
+          (fun (name, f) ->
+            let before = counters_snapshot () in
+            let (), dt = time f in
+            (name, dt, counters_delta before (counters_snapshot ())))
+          selected
+      in
+      let total = List.fold_left (fun acc (_, dt, _) -> acc +. dt) 0.0 per_section in
       Format.printf "@.total bench time: %.1fs (%d/%d sections)@." total (List.length selected)
-        (List.length sections));
+        (List.length sections);
+      write_bench_json per_section total);
   section "TELEMETRY SUMMARY: metrics registry after the run";
   Format.printf "%a@." Cdr_obs.Metrics.pp ();
   Cdr_obs.Sink.close_all ()

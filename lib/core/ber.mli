@@ -34,9 +34,12 @@ val eye_density : Config.t -> rho:Linalg.Vec.t -> (float * float) array
 
 val analyze :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?init:Linalg.Vec.t ->
+  ?cache:Solver_cache.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
   Model.t ->
   result * Markov.Solution.t
-(** Solve for the stationary distribution and evaluate everything. [?trace]
-    and [?pool] are forwarded to the solver (see {!Model.solve}). *)
+(** Solve for the stationary distribution and evaluate everything. [?init],
+    [?cache], [?trace] and [?pool] are forwarded to the solver (see
+    {!Model.solve}). *)

@@ -70,13 +70,19 @@ let build_via_network cfg =
   Cdr_obs.Metrics.incr "model.builds" ~labels:[ ("via", "network") ];
   { model with build_seconds }
 
-(* Direct compositional construction: the same chain, with each noise source
-   marginalized where it acts. Successor enumeration per state is
-   O(data outcomes * detector outcomes * |n_r| support). *)
-let build_direct cfg =
-  let cfg = Config.create_exn cfg in
-  let model, build_seconds =
-    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "direct") ] @@ fun () ->
+(* Precomputed successor-enumeration tables for the direct construction:
+   each noise source marginalized where it acts. They depend only on the
+   configuration, and recomputing them is cheap relative to the reachability
+   BFS — [rebuild] recomputes the tables but skips the BFS. *)
+type direct_tables = {
+  data_outcomes : (float * int * bool) list array;
+      (* per data state: (prob, next data, transition?) *)
+  pd_probs : (float * float * float) array; (* per phase bin: lead/null/lag *)
+  counter_table : (int * Counter.command) array array;
+  nr_atoms : (int * float) list;
+}
+
+let direct_tables cfg =
   let m = cfg.Config.grid_points in
   let n_data = Data_source.n_states cfg in
   let n_counter = Counter.n_states cfg in
@@ -127,9 +133,45 @@ let build_direct cfg =
             let c', cmd = counter_comp.Fsm.Component.step c [| o |] in
             (c', Counter.command_of_int cmd)))
   in
-  let nr_atoms =
-    Prob.Pmf.fold cfg.Config.nr ~init:[] ~f:(fun acc k w -> (k, w) :: acc)
-  in
+  let nr_atoms = Prob.Pmf.fold cfg.Config.nr ~init:[] ~f:(fun acc k w -> (k, w) :: acc) in
+  { data_outcomes; pd_probs; counter_table; nr_atoms }
+
+(* Enumerate the successors of one (data, counter, phase) state: calls
+   [f (d', c', phase') p] once per (not necessarily distinct) outcome.
+   Successor enumeration per state is O(data outcomes * detector outcomes *
+   |n_r| support). *)
+let iter_successors cfg tables ~data:d ~counter:c ~phase f =
+  let p_lead, p_null_tie, p_lag = tables.pd_probs.(phase) in
+  List.iter
+    (fun (p_data, d', t) ->
+      let detector_outcomes =
+        if t then
+          [
+            (p_lead, Phase_detector.Lead);
+            (p_null_tie, Phase_detector.Null);
+            (p_lag, Phase_detector.Lag);
+          ]
+        else [ (1.0, Phase_detector.Null) ]
+      in
+      List.iter
+        (fun (p_pd, o) ->
+          if p_pd > 0.0 then begin
+            let c', cmd = tables.counter_table.(c).(Phase_detector.output_to_int o) in
+            List.iter
+              (fun (r, p_r) ->
+                let phase' = Phase_error.next_bin cfg ~bin:phase ~command:cmd ~nr_bins:r in
+                f (d', c', phase') (p_data *. p_pd *. p_r))
+              tables.nr_atoms
+          end)
+        detector_outcomes)
+    tables.data_outcomes.(d)
+
+(* Direct compositional construction. *)
+let build_direct cfg =
+  let cfg = Config.create_exn cfg in
+  let model, build_seconds =
+    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "direct") ] @@ fun () ->
+  let tables = direct_tables cfg in
   (* BFS over reachable (data, counter, phase) states *)
   let index = Hashtbl.create 4096 in
   let order = ref [] in
@@ -161,30 +203,7 @@ let build_direct cfg =
       let prev = Option.value ~default:0.0 (Hashtbl.find_opt row_acc col) in
       Hashtbl.replace row_acc col (prev +. p)
     in
-    let p_lead, p_null_tie, p_lag = pd_probs.(phase) in
-    List.iter
-      (fun (p_data, d', t) ->
-        let detector_outcomes =
-          if t then
-            [
-              (p_lead, Phase_detector.Lead);
-              (p_null_tie, Phase_detector.Null);
-              (p_lag, Phase_detector.Lag);
-            ]
-          else [ (1.0, Phase_detector.Null) ]
-        in
-        List.iter
-          (fun (p_pd, o) ->
-            if p_pd > 0.0 then begin
-              let c', cmd = counter_table.(c).(Phase_detector.output_to_int o) in
-              List.iter
-                (fun (r, p_r) ->
-                  let phase' = Phase_error.next_bin cfg ~bin:phase ~command:cmd ~nr_bins:r in
-                  add (d', c', phase') (p_data *. p_pd *. p_r))
-                nr_atoms
-            end)
-          detector_outcomes)
-      data_outcomes.(d);
+    iter_successors cfg tables ~data:d ~counter:c ~phase add;
     rows := (row, Hashtbl.fold (fun col p acc -> (col, p) :: acc) row_acc []) :: !rows
   done;
   let n = !count in
@@ -201,6 +220,66 @@ let build_direct cfg =
 
 let build ?(via = `Direct) cfg =
   match via with `Direct -> build_direct cfg | `Network -> build_via_network cfg
+
+(* The state space (and with it the reachability BFS) is determined by these
+   parameters alone; the noise parameters only move transition values and,
+   occasionally, the set of nonzeros. *)
+let same_state_space a b =
+  a.Config.grid_points = b.Config.grid_points
+  && a.Config.n_phases = b.Config.n_phases
+  && a.Config.counter_length = b.Config.counter_length
+  && a.Config.max_run = b.Config.max_run
+
+exception Pattern_mismatch
+
+let rebuild t cfg =
+  let cfg = Config.create_exn cfg in
+  let attempt () =
+    if not (same_state_space t.config cfg) then None
+    else begin
+      let tables = direct_tables cfg in
+      let tpm = Markov.Chain.tpm t.chain in
+      let row_ptr = tpm.Sparse.Csr.row_ptr and col_idx = tpm.Sparse.Csr.col_idx in
+      let values = Array.make (Sparse.Csr.nnz tpm) 0.0 in
+      try
+        for i = 0 to t.n_states - 1 do
+          (* re-enumerate row [i]'s successors under the new noise
+             parameters, into the cached sparsity pattern: no BFS, no state
+             registration, no COO sort *)
+          let row_acc = Hashtbl.create 32 in
+          iter_successors cfg tables ~data:(t.data_code i) ~counter:(t.counter_code i)
+            ~phase:(t.phase_bin i)
+            (fun (data, counter, phase) p ->
+              match t.index_of ~data ~counter ~phase with
+              | None -> raise Pattern_mismatch
+              | Some col ->
+                  let prev = Option.value ~default:0.0 (Hashtbl.find_opt row_acc col) in
+                  Hashtbl.replace row_acc col (prev +. p));
+          (* the new row must have exactly the cached nonzeros: entries that
+             vanished or appeared mean the pattern moved (a fresh build would
+             produce a different CSR), so fall back to the full build *)
+          let live = Hashtbl.fold (fun _ p n -> if p > 0.0 then n + 1 else n) row_acc 0 in
+          if live <> row_ptr.(i + 1) - row_ptr.(i) then raise Pattern_mismatch;
+          for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+            match Hashtbl.find_opt row_acc col_idx.(k) with
+            | Some p when p > 0.0 -> values.(k) <- p
+            | Some _ | None -> raise Pattern_mismatch
+          done
+        done;
+        (* [refill] shares the structure arrays, so a multigrid setup built
+           on the old chain matches the new one in O(1) *)
+        let chain = Markov.Chain.of_csr ~tol:1e-9 (Sparse.Csr.refill tpm values) in
+        Some { t with config = cfg; chain }
+      with Pattern_mismatch | Markov.Chain.Not_stochastic _ -> None
+    end
+  in
+  match Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "rebuild") ] attempt with
+  | Some model, build_seconds ->
+      Cdr_obs.Metrics.incr "model.rebuilds" ~labels:[ ("pattern", "reused") ];
+      ({ model with build_seconds }, true)
+  | None, _ ->
+      Cdr_obs.Metrics.incr "model.rebuilds" ~labels:[ ("pattern", "fresh") ];
+      (build_direct cfg, false)
 
 let phase_marginal t ~pi =
   Markov.Stat.marginal ~pi ~label:t.phase_bin ~n_labels:t.config.Config.grid_points
@@ -253,21 +332,34 @@ let solver_name = function
   | `Arnoldi -> "arnoldi"
   | `Aggregation -> "aggregation"
 
-let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?trace ?pool t =
+let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?init ?cache ?trace ?pool t =
   Cdr_obs.Span.with_ ~name:"model.solve" ~attrs:[ ("solver", solver_name solver) ] @@ fun () ->
   Cdr_obs.Metrics.incr "model.solves" ~labels:[ ("solver", solver_name solver) ];
+  (* an init of the wrong length (e.g. threaded across a counter sweep whose
+     state count moved) is dropped, not an error: warm-starting is an
+     optimization, never a constraint *)
+  let init =
+    match init with Some v when Array.length v = t.n_states -> Some v | Some _ | None -> None
+  in
   match solver with
   | `Multigrid ->
       let solution, _stats =
-        Markov.Multigrid.solve ~tol ?trace ?pool ~hierarchy:(hierarchy t) t.chain
+        match cache with
+        | Some cache ->
+            let s = Solver_cache.setup cache ~hierarchy:(fun () -> hierarchy t) t.chain in
+            Markov.Multigrid.solve_with ~tol ?init ?trace ?pool s t.chain
+        | None -> Markov.Multigrid.solve ~tol ?init ?trace ?pool ~hierarchy:(hierarchy t) t.chain
       in
       solution
-  | `Power -> Markov.Power.solve ~tol ?trace ?pool t.chain
+  | `Power -> Markov.Power.solve ~tol ?init ?trace ?pool t.chain
   | `Gauss_seidel ->
-      Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol ?trace ?pool t.chain
-  | `Jacobi -> Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol ?trace ?pool t.chain
+      Markov.Splitting.solve ~method_:Markov.Splitting.Gauss_seidel ~tol ?init ?trace ?pool
+        t.chain
+  | `Jacobi ->
+      Markov.Splitting.solve ~method_:Markov.Splitting.Jacobi ~tol ?init ?trace ?pool t.chain
   | `Sor omega ->
-      Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol ?trace ?pool t.chain
+      Markov.Splitting.solve ~method_:(Markov.Splitting.Sor omega) ~tol ?init ?trace ?pool
+        t.chain
   | `Arnoldi -> Markov.Arnoldi.solve ~tol ?trace t.chain
   | `Aggregation ->
       let partition =

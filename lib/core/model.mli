@@ -35,6 +35,22 @@ val build_direct : Config.t -> t
 val build : ?via:[ `Network | `Direct ] -> Config.t -> t
 (** Default [`Direct]. *)
 
+val rebuild : t -> Config.t -> t * bool
+(** [rebuild t cfg] builds the model for [cfg] reusing [t]'s reachable-state
+    enumeration and CSR sparsity pattern when only noise parameters
+    ([sigma_w], [p01]/[p10], the [n_r] pmf, the dead zone, the [n_w]
+    discretization) changed: successors are re-enumerated per state straight
+    into the cached pattern — no reachability BFS, no state registration, no
+    COO sort — and the new TPM shares structure arrays with the old one
+    ({!Sparse.Csr.refill}), so a multigrid setup keyed on the old pattern
+    still matches in O(1).
+
+    Returns [(model, true)] on the fast path. Whenever the fast path is not
+    provably equivalent to a fresh build — a state-space parameter changed,
+    or the new noise parameters move the set of nonzeros — it falls back to
+    {!build_direct} and returns [(model, false)]. Counted in the
+    ["model.rebuilds"] metric with a [pattern=reused|fresh] label. *)
+
 val phase_marginal : t -> pi:Linalg.Vec.t -> Linalg.Vec.t
 (** Stationary marginal over phase bins (the density the paper plots). *)
 
@@ -48,12 +64,20 @@ val solve :
   ?solver:
     [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->
   ?tol:float ->
+  ?init:Linalg.Vec.t ->
+  ?cache:Solver_cache.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
   t ->
   Markov.Solution.t
 (** Stationary distribution; default [`Multigrid] with the structured
-    {!hierarchy} (and tolerance [1e-12]). [?trace] is forwarded to the
+    {!hierarchy} (and tolerance [1e-12]). [?init] warm-starts the iterative
+    solvers (multigrid, power, the splittings) from a given vector instead of
+    the uniform one — the continuation device for sweeps, where the previous
+    point's stationary density is an excellent guess for the next; an [init]
+    of the wrong length is ignored. [?cache] (multigrid only) looks the
+    symbolic setup up by the chain's sparsity structure instead of rebuilding
+    it (see {!Solver_cache}). [?trace] is forwarded to the
     selected solver's convergence recorder ([`Aggregation] does not record
     one). [?pool] is forwarded to the solvers that have deterministic
     parallel kernels (multigrid, power, the splittings); [`Aggregation] and

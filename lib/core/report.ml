@@ -10,9 +10,8 @@ type t = {
   trace : Cdr_obs.Trace.t;
 }
 
-let run ?(solver = `Multigrid) ?pool cfg =
+let run_model ?(solver = `Multigrid) ?pool ?init ?cache model =
   Cdr_obs.Span.with_ ~name:"report.run" @@ fun () ->
-  let model = Model.build cfg in
   let trace =
     Cdr_obs.Trace.create
       ~name:
@@ -23,7 +22,8 @@ let run ?(solver = `Multigrid) ?pool cfg =
       ()
   in
   let (result, solution), solve_seconds =
-    Cdr_obs.Span.timed ~name:"report.solve" (fun () -> Ber.analyze ~solver ~trace ?pool model)
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () ->
+        Ber.analyze ~solver ?init ?cache ~trace ?pool model)
   in
   (* every solver records its outer-iteration count in the trace; the
      Solution count is the fallback for an instantly-converged (empty) trace *)
@@ -33,17 +33,20 @@ let run ?(solver = `Multigrid) ?pool cfg =
     | n -> n
   in
   Cdr_obs.Metrics.observe "report.solve_seconds" solve_seconds;
-  {
-    config = cfg;
-    ber = result.Ber.ber;
-    size = model.Model.n_states;
-    iterations;
-    matrix_form_seconds = model.Model.build_seconds;
-    solve_seconds;
-    phase_density = result.Ber.phase_density;
-    eye_density = result.Ber.eye_density;
-    trace;
-  }
+  ( {
+      config = model.Model.config;
+      ber = result.Ber.ber;
+      size = model.Model.n_states;
+      iterations;
+      matrix_form_seconds = model.Model.build_seconds;
+      solve_seconds;
+      phase_density = result.Ber.phase_density;
+      eye_density = result.Ber.eye_density;
+      trace;
+    },
+    solution )
+
+let run ?solver ?pool cfg = fst (run_model ?solver ?pool (Model.build cfg))
 
 let header_line t =
   Printf.sprintf "COUNTER: %d  STDnw: %.1e  MAXnr: %.1e  BER: %.1e" t.config.Config.counter_length
@@ -55,24 +58,41 @@ let footer_line t =
     (t.matrix_form_seconds /. 60.0)
     (t.solve_seconds /. 60.0)
 
+(* The eye density lives on a different (n_w) lattice than the phase grid;
+   the tables index it by nearest phase. Both lattices are sorted and the
+   leftmost-nearest index is non-decreasing in the phase, so one linear merge
+   aligns every bin — not a per-row scan over the whole lattice. *)
+let eye_by_bin t =
+  let m = Array.length t.phase_density in
+  let ne = Array.length t.eye_density in
+  let out = Array.make m 0.0 in
+  if ne > 0 then begin
+    let j = ref 0 in
+    for i = 0 to m - 1 do
+      let phi = Config.phase_of_bin t.config i in
+      while
+        !j + 1 < ne
+        && abs_float (fst t.eye_density.(!j + 1) -. phi)
+           < abs_float (fst t.eye_density.(!j) -. phi)
+      do
+        incr j
+      done;
+      out.(i) <- snd t.eye_density.(!j)
+    done
+  end;
+  out
+
 let density_table ?(max_rows = 33) t =
   let m = Array.length t.phase_density in
   let stride = max 1 (m / max_rows) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "    phase     rho(Phi)      rho(Phi+n_w)\n";
-  (* the eye density lives on a different (n_w) lattice; index it by nearest
-     phase *)
-  let eye_at phi =
-    let best = ref 0 in
-    Array.iteri
-      (fun k (x, _) -> if abs_float (x -. phi) < abs_float (fst t.eye_density.(!best) -. phi) then best := k)
-      t.eye_density;
-    snd t.eye_density.(!best)
-  in
+  let eye = eye_by_bin t in
   let i = ref 0 in
   while !i < m do
     let phi = Config.phase_of_bin t.config !i in
-    Buffer.add_string buf (Printf.sprintf "  %+8.4f  %12.5e  %12.5e\n" phi t.phase_density.(!i) (eye_at phi));
+    Buffer.add_string buf
+      (Printf.sprintf "  %+8.4f  %12.5e  %12.5e\n" phi t.phase_density.(!i) eye.(!i));
     i := !i + stride
   done;
   Buffer.contents buf
@@ -80,19 +100,11 @@ let density_table ?(max_rows = 33) t =
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "phase,rho_phi,rho_phi_plus_nw\n";
-  (* align the eye density (on the n_w lattice) by nearest phase *)
-  let eye_at phi =
-    let best = ref 0 in
-    Array.iteri
-      (fun k (x, _) ->
-        if abs_float (x -. phi) < abs_float (fst t.eye_density.(!best) -. phi) then best := k)
-      t.eye_density;
-    snd t.eye_density.(!best)
-  in
+  let eye = eye_by_bin t in
   Array.iteri
     (fun i p ->
       let phi = Config.phase_of_bin t.config i in
-      Buffer.add_string buf (Printf.sprintf "%.9f,%.9e,%.9e\n" phi p (eye_at phi)))
+      Buffer.add_string buf (Printf.sprintf "%.9f,%.9e,%.9e\n" phi p eye.(i)))
     t.phase_density;
   Buffer.contents buf
 

@@ -27,6 +27,20 @@ val run : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> ?pool:Cdr_par.Pool.
     steps and Gauss-Seidel sweeps are counted the same way. [?pool] is
     forwarded to the solver kernels (see {!Model.solve}). *)
 
+val run_model :
+  ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?pool:Cdr_par.Pool.t ->
+  ?init:Linalg.Vec.t ->
+  ?cache:Solver_cache.t ->
+  Model.t ->
+  t * Markov.Solution.t
+(** {!run} on an already built model, also returning the full stationary
+    solution — the warm-sweep entry point: [?init] threads the previous
+    sweep point's stationary vector into the solver and [?cache] reuses the
+    multigrid setup across points with one sparsity structure (see
+    {!Model.solve}). [matrix_form_seconds] reports the model's own build
+    time, as recorded by {!Model.build} or {!Model.rebuild}. *)
+
 val header_line : t -> string
 
 val footer_line : t -> string

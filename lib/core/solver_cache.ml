@@ -1,0 +1,51 @@
+(* Structure-keyed cache of multigrid setups (see Markov.Multigrid.setup).
+
+   A sweep's points solve chains whose sparsity patterns are identical
+   (sigma continuation) or drawn from a tiny set of shapes (counter sweeps),
+   so the symbolic phase — patterns, transposes, levels, workspaces — is
+   paid once per shape and looked up afterwards. Lookup delegates to
+   [Multigrid.matches]: O(1) for refilled chains whose structure arrays are
+   physically shared, O(nnz) for structurally equal strangers.
+
+   A cache is deliberately not thread-safe: setups own mutable workspaces,
+   so each sweep worker threads its own cache through its own chunk of
+   points (see Sweep). The registry metrics are global and domain-safe. *)
+
+type t = {
+  max_entries : int;
+  mutable entries : Markov.Multigrid.setup list; (* most recently used first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(max_entries = 8) () =
+  if max_entries < 1 then invalid_arg "Solver_cache.create: max_entries must be >= 1";
+  { max_entries; entries = []; hits = 0; misses = 0 }
+
+let take_first p l =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest when p x -> Some (x, List.rev_append acc rest)
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] l
+
+let truncate n l = List.filteri (fun i _ -> i < n) l
+
+let setup t ~hierarchy chain =
+  match take_first (fun s -> Markov.Multigrid.matches s chain) t.entries with
+  | Some (s, rest) ->
+      t.hits <- t.hits + 1;
+      Cdr_obs.Metrics.incr "solver_cache.hits";
+      t.entries <- s :: rest;
+      s
+  | None ->
+      t.misses <- t.misses + 1;
+      Cdr_obs.Metrics.incr "solver_cache.misses";
+      let s = Markov.Multigrid.setup ~hierarchy:(hierarchy ()) chain in
+      t.entries <- truncate t.max_entries (s :: t.entries);
+      s
+
+let hits t = t.hits
+let misses t = t.misses
+let length t = List.length t.entries

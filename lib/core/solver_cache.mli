@@ -1,0 +1,34 @@
+(** Structure-keyed cache of multigrid solver setups.
+
+    The sweeps of the paper's headline experiments solve many chains that
+    share one sparsity structure (a [sigma_w] continuation) or a handful of
+    structures (a counter sweep). {!Markov.Multigrid.setup} is pure symbolic
+    work — patterns, transpose maps, levels, workspaces — so it is cached per
+    structure and only the numeric {!Markov.Multigrid.solve_with} phase runs
+    per point.
+
+    Hit/miss counts are exposed both per cache (for assertions) and through
+    the global [Cdr_obs] metrics registry as the ["solver_cache.hits"] /
+    ["solver_cache.misses"] counters.
+
+    Setups own mutable workspaces, so a cache must not be shared across
+    concurrently solving workers: give each sweep worker its own (the warm
+    sweep runner threads one per chunk). *)
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** LRU cache holding at most [max_entries] setups (default 8). Raises
+    [Invalid_argument] when [max_entries < 1]. *)
+
+val setup :
+  t -> hierarchy:(unit -> Markov.Partition.t list) -> Markov.Chain.t -> Markov.Multigrid.setup
+(** The cached setup matching the chain's sparsity pattern, or a fresh one
+    built from [hierarchy ()] (only evaluated on a miss) and inserted. The
+    returned setup is moved to the front of the LRU order. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val length : t -> int
+(** Number of cached setups. *)

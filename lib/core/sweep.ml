@@ -1,5 +1,10 @@
 type point = { config : Config.t; report : Report.t }
 
+type strategy = { warm_start : bool; reuse_setup : bool }
+
+let cold = { warm_start = false; reuse_setup = false }
+let warm = { warm_start = true; reuse_setup = true }
+
 let point ~attr_name ~attr_value config solver =
   Cdr_obs.Span.with_ ~name:"sweep.point" ~attrs:[ (attr_name, attr_value) ] @@ fun () ->
   Cdr_obs.Metrics.incr "sweep.points";
@@ -15,19 +20,110 @@ let map_points ?pool f values =
   | None -> List.map f values
   | Some pool -> Cdr_par.Pool.map_list pool f values
 
-let counter_lengths ?solver ?pool base lengths =
-  map_points ?pool
-    (fun k ->
-      let config = Config.create_exn { base with Config.counter_length = k } in
-      point ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
-    lengths
+(* Split into at most [k] contiguous chunks over the same fixed grid the
+   sparse kernels use, so the chunk boundaries depend on the job count only
+   through [k]. *)
+let chunk_list k l =
+  let n = List.length l in
+  if n = 0 then []
+  else begin
+    let k = max 1 (min k n) in
+    let arr = Array.of_list l in
+    List.init k (fun c ->
+        let lo = c * n / k and hi = (((c + 1) * n / k) - 1) in
+        Array.to_list (Array.sub arr lo (hi - lo + 1)))
+  end
 
-let sigma_w_values ?solver ?pool base sigmas =
-  map_points ?pool
-    (fun sigma ->
-      let config = Config.create_exn { base with Config.sigma_w = sigma } in
-      point ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
-    sigmas
+(* Secant predictor for the continuation: extrapolate the next stationary
+   vector linearly from the last two along the sweep parameter. Negative
+   extrapolated entries are clamped to zero (the solvers expect a density);
+   the prediction only sets the starting point, never the convergence test. *)
+let predict ~v ~v1 ~pi1 ~v2 ~pi2 =
+  let n = Array.length pi1 in
+  if Array.length pi2 <> n || v1 = v2 then pi1
+  else begin
+    let t = (v -. v1) /. (v1 -. v2) in
+    Array.init n (fun i -> Float.max 0.0 (pi1.(i) +. (t *. (pi1.(i) -. pi2.(i)))))
+  end
+
+(* Continuation mode: points are processed in parameter order so that
+   adjacent points — whose stationary densities nearly coincide — are
+   neighbors in the schedule. Each worker takes one contiguous chunk and
+   threads through it (a) the previous point's model, so [Model.rebuild] can
+   renumber the cached sparsity pattern in place, (b) a secant extrapolation
+   of the previous points' stationary vectors as the next solve's initial
+   iterate, and (c) a structure-keyed [Solver_cache] of multigrid setups.
+   Under [?pool] the chunks run in parallel and warm-starting happens within
+   each worker's chunk; results return in the caller's original order. *)
+let map_points_continuation ?solver ?pool ~strategy ~compare ~attr_name ~attr_of ~param_of
+    ~config_of values =
+  let indexed = List.mapi (fun i v -> (i, v)) values in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) indexed in
+  let jobs = match pool with None -> 1 | Some p -> Cdr_par.Pool.jobs p in
+  let run_chunk chunk =
+    let cache = if strategy.reuse_setup then Some (Solver_cache.create ()) else None in
+    let prev = ref None and prev2 = ref None in
+    List.map
+      (fun (idx, v) ->
+        let config = Config.create_exn (config_of v) in
+        Cdr_obs.Span.with_ ~name:"sweep.point" ~attrs:[ (attr_name, attr_of v) ] @@ fun () ->
+        Cdr_obs.Metrics.incr "sweep.points";
+        let model =
+          match !prev with
+          | Some (prev_model, _, _) when strategy.reuse_setup ->
+              fst (Model.rebuild prev_model config)
+          | Some _ | None -> Model.build config
+        in
+        let init =
+          if not strategy.warm_start then None
+          else
+            match (!prev, !prev2) with
+            | Some (_, pi1, v1), Some (pi2, v2) ->
+                Some (predict ~v:(param_of v) ~v1 ~pi1 ~v2 ~pi2)
+            | Some (_, pi1, _), None -> Some pi1
+            | None, _ -> None
+        in
+        let report, solution = Report.run_model ?solver ?init ?cache model in
+        (match !prev with Some (_, pi1, v1) -> prev2 := Some (pi1, v1) | None -> ());
+        prev := Some (model, solution.Markov.Solution.pi, param_of v);
+        (idx, { config; report }))
+      chunk
+  in
+  let chunks = chunk_list jobs sorted in
+  let chunk_results =
+    match pool with
+    | None -> List.map run_chunk chunks
+    | Some pool -> Cdr_par.Pool.map_list pool run_chunk chunks
+  in
+  List.concat chunk_results
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.map snd
+
+let counter_lengths ?solver ?pool ?(strategy = cold) base lengths =
+  if (not strategy.warm_start) && not strategy.reuse_setup then
+    map_points ?pool
+      (fun k ->
+        let config = Config.create_exn { base with Config.counter_length = k } in
+        point ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
+      lengths
+  else
+    map_points_continuation ?solver ?pool ~strategy ~compare:Stdlib.compare
+      ~attr_name:"counter" ~attr_of:string_of_int ~param_of:float_of_int
+      ~config_of:(fun k -> { base with Config.counter_length = k })
+      lengths
+
+let sigma_w_values ?solver ?pool ?(strategy = cold) base sigmas =
+  if (not strategy.warm_start) && not strategy.reuse_setup then
+    map_points ?pool
+      (fun sigma ->
+        let config = Config.create_exn { base with Config.sigma_w = sigma } in
+        point ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
+      sigmas
+  else
+    map_points_continuation ?solver ?pool ~strategy ~compare:Stdlib.compare
+      ~attr_name:"sigma_w" ~attr_of:string_of_float ~param_of:Fun.id
+      ~config_of:(fun sigma -> { base with Config.sigma_w = sigma })
+      sigmas
 
 let optimal_of_points = function
   | [] -> invalid_arg "Sweep.optimal_of_points: no points"
@@ -39,10 +135,10 @@ let optimal_of_points = function
       in
       (best.config.Config.counter_length, best.report.Report.ber)
 
-let optimal_counter ?solver ?pool base lengths =
+let optimal_counter ?solver ?pool ?strategy base lengths =
   match lengths with
   | [] -> invalid_arg "Sweep.optimal_counter: no candidate lengths"
-  | _ -> optimal_of_points (counter_lengths ?solver ?pool base lengths)
+  | _ -> optimal_of_points (counter_lengths ?solver ?pool ?strategy base lengths)
 
 let pp_points ppf points =
   Format.fprintf ppf "@[<v>%-8s %-8s %-12s %-10s %-8s %s@,"

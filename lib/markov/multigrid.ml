@@ -188,8 +188,21 @@ type workspace = {
   pat : pattern;
 }
 
-let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ?trace
-    ?pool ~hierarchy chain =
+(* Everything a V-cycle needs that depends on the sparsity structure alone:
+   the per-level patterns, transpose maps, aggregation targets and the
+   preallocated workspaces. Computed once per structure by [setup]; every
+   [solve_with] against it only touches values. *)
+type setup = {
+  setup_n : int;
+  (* the structure arrays of the CSR the setup was built from, kept so
+     [matches] can accept refilled matrices (physically shared pattern) in
+     O(1) and structurally equal ones in O(nnz) *)
+  ref_row_ptr : int array;
+  ref_col_idx : int array;
+  workspaces : workspace array;
+}
+
+let setup ~hierarchy chain =
   let n = Chain.n_states chain in
   validate_hierarchy ~n hierarchy;
   let fine_csr = Chain.tpm chain in
@@ -205,7 +218,8 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
         build_levels level.coarse rest (level :: acc)
   in
   let levels = build_levels fine_pattern hierarchy [] in
-  (* workspaces: one per level plus the coarsest *)
+  (* workspaces: one per level plus the coarsest; the finest value array is
+     filled from the chain at the start of each [solve_with] *)
   let workspaces =
     let rec build pat values = function
       | [] ->
@@ -231,8 +245,33 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
           }
           :: build level.coarse coarse_values rest
     in
-    Array.of_list (build fine_pattern (Array.copy fine_csr.Sparse.Csr.values) levels)
+    Array.of_list
+      (build fine_pattern (Array.make (Sparse.Csr.nnz fine_csr) 0.0) levels)
   in
+  {
+    setup_n = n;
+    ref_row_ptr = fine_csr.Sparse.Csr.row_ptr;
+    ref_col_idx = fine_csr.Sparse.Csr.col_idx;
+    workspaces;
+  }
+
+let levels s = Array.length s.workspaces
+
+let matches s chain =
+  let m = Chain.tpm chain in
+  Chain.n_states chain = s.setup_n
+  && (m.Sparse.Csr.row_ptr == s.ref_row_ptr || m.Sparse.Csr.row_ptr = s.ref_row_ptr)
+  && (m.Sparse.Csr.col_idx == s.ref_col_idx || m.Sparse.Csr.col_idx = s.ref_col_idx)
+
+let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init
+    ?trace ?pool s chain =
+  if not (matches s chain) then
+    invalid_arg "Multigrid.solve_with: chain sparsity pattern does not match the setup";
+  let n = s.setup_n in
+  let workspaces = s.workspaces in
+  let fine_csr = Chain.tpm chain in
+  Array.blit fine_csr.Sparse.Csr.values 0 workspaces.(0).values 0
+    (Array.length fine_csr.Sparse.Csr.values);
   let n_levels = Array.length workspaces in
   let coarsest = workspaces.(n_levels - 1) in
   let smoothing_sweeps = ref 0 in
@@ -311,3 +350,7 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
       coarsest_size = coarsest.pat.n;
       smoothing_sweeps = !smoothing_sweeps;
     } )
+
+let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ~hierarchy chain =
+  solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool
+    (setup ~hierarchy chain) chain

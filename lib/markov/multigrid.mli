@@ -24,6 +24,48 @@ type stats = {
 val default_hierarchy : n:int -> coarsest:int -> Partition.t list
 (** Pair consecutive states until [coarsest] (or fewer) states remain. *)
 
+type setup
+(** The symbolic phase of the solver, separated from the numeric phase:
+    per-level sparsity patterns, transpose maps, aggregation targets and
+    preallocated workspaces — everything that depends on the chain's
+    {e structure} but not its {e values}. A sweep whose points share one
+    sparsity pattern (e.g. a [sigma_w] continuation, where only transition
+    probabilities move) pays this cost once and runs every solve through
+    {!solve_with}.
+
+    A setup owns mutable workspaces: at most one [solve_with] may run
+    against it at a time (use one setup per worker for parallel sweeps). *)
+
+val setup : hierarchy:Partition.t list -> Chain.t -> setup
+(** Build the symbolic setup from the chain's sparsity pattern. Raises
+    [Invalid_argument] when the hierarchy sizes do not chain up with the
+    fine chain. *)
+
+val matches : setup -> Chain.t -> bool
+(** Whether the chain's TPM has the sparsity pattern the setup was built
+    from. O(1) when the structure arrays are physically shared (the
+    [Sparse.Csr.refill] path), O(nnz) otherwise. *)
+
+val levels : setup -> int
+(** Number of levels including the finest and the coarsest. *)
+
+val solve_with :
+  ?tol:float ->
+  ?max_cycles:int ->
+  ?pre_smooth:int ->
+  ?post_smooth:int ->
+  ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
+  setup ->
+  Chain.t ->
+  Solution.t * stats
+(** Run V-cycles against an existing setup and the chain's current values
+    (the numeric phase only: one value blit, no pattern, transpose or level
+    construction). Raises [Invalid_argument] when [matches setup chain] is
+    false. Numerically identical to {!solve} on the same chain — reusing a
+    setup across refills changes no result bits. *)
+
 val solve :
   ?tol:float ->
   ?max_cycles:int ->
@@ -35,7 +77,8 @@ val solve :
   hierarchy:Partition.t list ->
   Chain.t ->
   Solution.t * stats
-(** Defaults: [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
+(** [setup] followed by [solve_with] on a fresh setup. Defaults:
+    [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
     [post_smooth = 2]. Raises [Invalid_argument] when the hierarchy sizes do
     not chain up with the fine chain. [?pool] parallelizes the per-cycle
     stationarity-residual SpMV on the fine level (the Gauss-Seidel smoother

@@ -182,6 +182,18 @@ let vec_mul ?pool x m =
   vec_mul_into ?pool x m y;
   y
 
+let same_pattern a b =
+  a.rows = b.rows && a.cols = b.cols
+  && (a.row_ptr == b.row_ptr || a.row_ptr = b.row_ptr)
+  && (a.col_idx == b.col_idx || a.col_idx = b.col_idx)
+
+let refill m values =
+  if Array.length values <> nnz m then invalid_arg "Csr.refill: values length must equal nnz";
+  Array.iter
+    (fun v -> if not (Float.is_finite v) then invalid_arg "Csr.refill: non-finite value")
+    values;
+  { m with values }
+
 let transpose m =
   let tn = Array.make m.cols 0 in
   Array.iter (fun j -> tn.(j) <- tn.(j) + 1) m.col_idx;

@@ -55,6 +55,20 @@ val vec_mul_into : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> t -> Linalg.Vec.t -> 
     (pooled jobs=1 and jobs=N agree bitwise), though the float-summation
     grouping differs from the serial path's by design — see DESIGN.md. *)
 
+val same_pattern : t -> t -> bool
+(** Same dimensions and the same sparsity structure ([row_ptr] and [col_idx]
+    equal). Physically shared structure arrays (see {!refill}) short-circuit
+    to [true] without an element-wise compare. *)
+
+val refill : t -> float array -> t
+(** [refill m values] is the matrix with [m]'s sparsity pattern and the given
+    stored values: the symbolic work of a fresh construction (sorting,
+    merging, index validation) is skipped entirely, and [row_ptr]/[col_idx]
+    are physically shared with [m] — so [same_pattern m (refill m v)] is an
+    O(1) check and pattern-keyed solver setups (see [Markov.Multigrid.setup])
+    can be reused across refills. The array is owned by the result; raises
+    [Invalid_argument] on a length mismatch or a non-finite value. *)
+
 val transpose : t -> t
 
 val map : (float -> float) -> t -> t

@@ -1,0 +1,243 @@
+(* Tests for the setup/solve split and the warm-started continuation sweeps
+   (PR 3): Csr.refill / same_pattern against fresh constructions, bitwise
+   reuse of one Multigrid.setup across chains sharing a pattern,
+   Model.rebuild equivalence with a from-scratch build, solver-cache
+   hit/miss accounting (both per-cache and through the metrics registry),
+   and agreement of warm-started sweeps with cold ones. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x -> if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+(* a small, noisy configuration: fast to build, BER far from underflow *)
+let small =
+  {
+    Cdr.Config.default with
+    Cdr.Config.grid_points = 32;
+    n_phases = 8;
+    counter_length = 3;
+    max_run = 4;
+    nw_max_atoms = 17;
+    sigma_w = 0.08;
+  }
+
+(* ---------- Csr.refill / same_pattern ---------- *)
+
+let test_csr_refill () =
+  let n = 7 in
+  let dense f =
+    let d = Linalg.Mat.create ~rows:n ~cols:n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if (i + j) mod 3 = 0 then Linalg.Mat.set d i j (f i j)
+      done
+    done;
+    d
+  in
+  let a = Sparse.Csr.of_dense (dense (fun i j -> float_of_int ((i * n) + j + 1))) in
+  let fresh = Sparse.Csr.of_dense (dense (fun i j -> 2.0 *. float_of_int ((i * n) + j + 1))) in
+  let refilled = Sparse.Csr.refill a (Array.map (fun v -> 2.0 *. v) a.Sparse.Csr.values) in
+  check_bool "refill equals fresh of_dense" true (Sparse.Csr.equal ~tol:0.0 refilled fresh);
+  check_bool "refill shares the pattern" true (Sparse.Csr.same_pattern a refilled);
+  check_bool "refill shares row_ptr physically" true
+    (a.Sparse.Csr.row_ptr == refilled.Sparse.Csr.row_ptr);
+  check_bool "structurally equal strangers share a pattern" true
+    (Sparse.Csr.same_pattern a fresh);
+  check_bool "different structures do not" false
+    (Sparse.Csr.same_pattern a (Sparse.Csr.identity n));
+  Alcotest.check_raises "wrong length rejected"
+    (Invalid_argument "Csr.refill: values length must equal nnz") (fun () ->
+      ignore (Sparse.Csr.refill a [| 1.0 |]));
+  Alcotest.check_raises "non-finite rejected"
+    (Invalid_argument "Csr.refill: non-finite value") (fun () ->
+      ignore (Sparse.Csr.refill a (Array.map (fun _ -> Float.nan) a.Sparse.Csr.values)))
+
+(* ---------- Multigrid.setup reuse across same-pattern chains ---------- *)
+
+let test_setup_reuse () =
+  let model = Cdr.Model.build small in
+  let chain = model.Cdr.Model.chain in
+  let hierarchy = Cdr.Model.hierarchy model in
+  let s = Markov.Multigrid.setup ~hierarchy chain in
+  check_bool "setup matches its own chain" true (Markov.Multigrid.matches s chain);
+  (* solve_with on a shared setup is bitwise the one-shot solve *)
+  let sol_oneshot, stats_oneshot = Markov.Multigrid.solve ~tol:1e-11 ~hierarchy chain in
+  let sol_with, stats_with = Markov.Multigrid.solve_with ~tol:1e-11 s chain in
+  check_bool "solve_with bitwise equals solve" true
+    (bits_equal sol_oneshot.Markov.Solution.pi sol_with.Markov.Solution.pi);
+  check_int "same cycles" stats_oneshot.Markov.Multigrid.cycles stats_with.Markov.Multigrid.cycles;
+  check_int "levels accessor" stats_with.Markov.Multigrid.levels (Markov.Multigrid.levels s);
+  (* a second chain with the same pattern (noise parameters moved): the same
+     setup must match in O(1) and reproduce a fresh solve bitwise *)
+  let model2, reused = Cdr.Model.rebuild model { small with Cdr.Config.p01 = 0.45; p10 = 0.45 } in
+  check_bool "rebuild reused the pattern" true reused;
+  let chain2 = model2.Cdr.Model.chain in
+  check_bool "setup matches the refilled chain" true (Markov.Multigrid.matches s chain2);
+  let sol2_fresh, _ = Markov.Multigrid.solve ~tol:1e-11 ~hierarchy chain2 in
+  let sol2_reused, _ = Markov.Multigrid.solve_with ~tol:1e-11 s chain2 in
+  check_bool "reused setup bitwise equals fresh solve on second chain" true
+    (bits_equal sol2_fresh.Markov.Solution.pi sol2_reused.Markov.Solution.pi);
+  (* a chain with another structure is rejected *)
+  let other = Cdr.Model.build { small with Cdr.Config.counter_length = 4 } in
+  check_bool "different structure does not match" false
+    (Markov.Multigrid.matches s other.Cdr.Model.chain);
+  check_bool "solve_with rejects a mismatched chain" true
+    (match Markov.Multigrid.solve_with s other.Cdr.Model.chain with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- Model.rebuild ---------- *)
+
+let test_model_rebuild () =
+  let model = Cdr.Model.build small in
+  (* noise-only change on the same pattern: bitwise the from-scratch build *)
+  let cfg' = { small with Cdr.Config.p01 = 0.45; p10 = 0.45 } in
+  let rebuilt, reused = Cdr.Model.rebuild model cfg' in
+  check_bool "pattern reused" true reused;
+  let fresh = Cdr.Model.build cfg' in
+  let tr = Markov.Chain.tpm rebuilt.Cdr.Model.chain in
+  let tf = Markov.Chain.tpm fresh.Cdr.Model.chain in
+  check_bool "same pattern as fresh build" true (Sparse.Csr.same_pattern tr tf);
+  check_bool "bitwise same values as fresh build" true
+    (bits_equal tr.Sparse.Csr.values tf.Sparse.Csr.values);
+  check_bool "pattern shared physically with the old chain" true
+    (tr.Sparse.Csr.row_ptr == (Markov.Chain.tpm model.Cdr.Model.chain).Sparse.Csr.row_ptr);
+  (* a state-space change falls back to the full build *)
+  let cfg_k = { small with Cdr.Config.counter_length = 5 } in
+  let rebuilt_k, reused_k = Cdr.Model.rebuild model cfg_k in
+  check_bool "state-space change is a fresh build" false reused_k;
+  check_int "fallback state count" (Cdr.Model.build cfg_k).Cdr.Model.n_states
+    rebuilt_k.Cdr.Model.n_states
+
+(* ---------- Solver_cache ---------- *)
+
+let test_solver_cache () =
+  Cdr_obs.Metrics.reset ();
+  let cache = Cdr.Solver_cache.create () in
+  let model = Cdr.Model.build small in
+  let hierarchy () = Cdr.Model.hierarchy model in
+  let s1 = Cdr.Solver_cache.setup cache ~hierarchy model.Cdr.Model.chain in
+  check_int "first lookup misses" 1 (Cdr.Solver_cache.misses cache);
+  let s2 = Cdr.Solver_cache.setup cache ~hierarchy model.Cdr.Model.chain in
+  check_int "second lookup hits" 1 (Cdr.Solver_cache.hits cache);
+  check_bool "hit returns the same setup" true (s1 == s2);
+  (* a refilled chain (same structure, new values) hits *)
+  let model2, _ = Cdr.Model.rebuild model { small with Cdr.Config.p01 = 0.48; p10 = 0.48 } in
+  let s3 = Cdr.Solver_cache.setup cache ~hierarchy model2.Cdr.Model.chain in
+  check_bool "refilled chain hits" true (s1 == s3);
+  check_int "hits after refill" 2 (Cdr.Solver_cache.hits cache);
+  (* a different structure misses and is inserted *)
+  let other = Cdr.Model.build { small with Cdr.Config.counter_length = 4 } in
+  ignore
+    (Cdr.Solver_cache.setup cache
+       ~hierarchy:(fun () -> Cdr.Model.hierarchy other)
+       other.Cdr.Model.chain);
+  check_int "new structure misses" 2 (Cdr.Solver_cache.misses cache);
+  check_int "two structures cached" 2 (Cdr.Solver_cache.length cache);
+  (* the global registry saw the same counts *)
+  let counter name =
+    List.fold_left
+      (fun acc (s : Cdr_obs.Metrics.series) ->
+        match s.Cdr_obs.Metrics.kind with
+        | Cdr_obs.Metrics.Counter n when s.Cdr_obs.Metrics.name = name -> acc + n
+        | _ -> acc)
+      0 (Cdr_obs.Metrics.dump ())
+  in
+  check_int "metrics hits" 2 (counter "solver_cache.hits");
+  check_int "metrics misses" 2 (counter "solver_cache.misses")
+
+(* ---------- warm vs cold sweeps ---------- *)
+
+let sigmas = [ 0.06; 0.07; 0.08; 0.09; 0.11 ]
+
+let bers points = List.map (fun p -> p.Cdr.Sweep.report.Cdr.Report.ber) points
+
+let test_warm_matches_cold () =
+  let cold_points = Cdr.Sweep.sigma_w_values small sigmas in
+  let warm_points = Cdr.Sweep.sigma_w_values ~strategy:Cdr.Sweep.warm small sigmas in
+  check_int "same number of points" (List.length cold_points) (List.length warm_points);
+  List.iter2
+    (fun c w ->
+      check_bool "same config order" true
+        (c.Cdr.Sweep.config.Cdr.Config.sigma_w = w.Cdr.Sweep.config.Cdr.Config.sigma_w);
+      let bc = c.Cdr.Sweep.report.Cdr.Report.ber
+      and bw = w.Cdr.Sweep.report.Cdr.Report.ber in
+      let rel = abs_float (bc -. bw) /. Float.max bc 1e-300 in
+      if rel > 1e-6 then
+        Alcotest.failf "warm BER diverges at sigma %g: cold %.17e warm %.17e (rel %g)"
+          c.Cdr.Sweep.config.Cdr.Config.sigma_w bc bw rel)
+    cold_points warm_points;
+  (* determinism: the warm continuation reproduces itself bitwise *)
+  let warm_again = Cdr.Sweep.sigma_w_values ~strategy:Cdr.Sweep.warm small sigmas in
+  check_bool "warm sweep is deterministic" true
+    (List.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       (bers warm_points) (bers warm_again))
+
+let test_setup_reuse_is_bitwise_cold () =
+  (* structure caching alone (no warm start) must not change a single bit:
+     the symbolic phase carries no values *)
+  let cache_only = { Cdr.Sweep.warm_start = false; reuse_setup = true } in
+  let cold_points = Cdr.Sweep.sigma_w_values small sigmas in
+  let cached_points = Cdr.Sweep.sigma_w_values ~strategy:cache_only small sigmas in
+  check_bool "cache-only sweep bitwise equals cold" true
+    (List.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       (bers cold_points) (bers cached_points))
+
+let test_warm_under_pool () =
+  (* chunked continuation under a pool: same points, same order, still within
+     tolerance of cold, and fewer than one structure miss per point *)
+  Cdr_obs.Metrics.reset ();
+  let cold_points = Cdr.Sweep.sigma_w_values small sigmas in
+  let warm_points =
+    Cdr_par.Pool.with_pool ~jobs:2 (fun pool ->
+        Cdr.Sweep.sigma_w_values ~pool ~strategy:Cdr.Sweep.warm small sigmas)
+  in
+  List.iter2
+    (fun c w ->
+      let bc = c.Cdr.Sweep.report.Cdr.Report.ber
+      and bw = w.Cdr.Sweep.report.Cdr.Report.ber in
+      check_bool "pooled warm point within tolerance" true
+        (abs_float (bc -. bw) /. Float.max bc 1e-300 <= 1e-6))
+    cold_points warm_points;
+  (* counter sweeps warm-start too: every length is its own structure, so
+     the cache cannot hit across points, but results must still agree *)
+  let lengths = [ 2; 3; 4 ] in
+  let cold_k = Cdr.Sweep.counter_lengths small lengths in
+  let warm_k = Cdr.Sweep.counter_lengths ~strategy:Cdr.Sweep.warm small lengths in
+  List.iter2
+    (fun c w ->
+      check_int "counter order preserved" c.Cdr.Sweep.config.Cdr.Config.counter_length
+        w.Cdr.Sweep.config.Cdr.Config.counter_length;
+      let bc = c.Cdr.Sweep.report.Cdr.Report.ber
+      and bw = w.Cdr.Sweep.report.Cdr.Report.ber in
+      check_bool "warm counter point within tolerance" true
+        (abs_float (bc -. bw) /. Float.max bc 1e-300 <= 1e-6))
+    cold_k warm_k
+
+let () =
+  Alcotest.run "cdr_warm"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "csr refill / same_pattern" `Quick test_csr_refill;
+          Alcotest.test_case "multigrid setup reuse" `Quick test_setup_reuse;
+          Alcotest.test_case "model rebuild" `Quick test_model_rebuild;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "solver cache hits and misses" `Quick test_solver_cache ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "warm matches cold" `Quick test_warm_matches_cold;
+          Alcotest.test_case "cache-only is bitwise cold" `Quick test_setup_reuse_is_bitwise_cold;
+          Alcotest.test_case "warm under a pool" `Quick test_warm_under_pool;
+        ] );
+    ]
