@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke clean
 
 all: build
 
@@ -27,12 +27,27 @@ check: build fmt test test-par
 bench-telemetry:
 	CDR_OBS=jsonl:/tmp/cdr_bench_events.jsonl dune exec bench/main.exe -- telemetry
 
-# Machine-readable benchmark summary: the WARM-VS-COLD continuation section
-# (cold vs warm-started sigma sweep on the default grid, cache hit/miss
-# counts, per-point BER agreement) plus per-section wall times and metric
-# deltas written to BENCH.json (path overridable via CDR_BENCH_JSON).
+# Machine-readable benchmark summary: every performance section — the
+# deterministic smoke counters, solver telemetry, domain-pool scaling
+# (including the colored-smoother V-cycle), warm-vs-cold continuation and
+# the Bechamel kernel microbenches — with per-section wall times, metric
+# counter deltas, gauge values (kernel ns/run, colored-multigrid wall
+# times), the job count and the smoother choice, written to BENCH.json
+# (path overridable via CDR_BENCH_JSON).
 bench-json:
-	dune exec bench/main.exe -- warm
+	dune exec bench/main.exe -- smoke telemetry parallel warm kernels
+
+# CI bench smoke: run only the tiny deterministic section and assert its
+# metric counter deltas from the JSON — builds, solves, rebuilds and cache
+# hits/misses are exact integers; wall seconds are never asserted.
+bench-smoke:
+	CDR_BENCH_JSON=/tmp/bench.json dune exec bench/main.exe -- smoke
+	grep -q '"model.builds{via=direct}":1' /tmp/bench.json
+	grep -q '"model.solves{solver=multigrid}":3' /tmp/bench.json
+	grep -q '"model.rebuilds{pattern=reused}":1' /tmp/bench.json
+	grep -q '"solver_cache.hits":2' /tmp/bench.json
+	grep -q '"solver_cache.misses":1' /tmp/bench.json
+	@echo "bench smoke: all counter deltas as expected"
 
 # Domain-pool scaling: sweep + SpMV wall times at jobs 1/2/4/8. On a
 # single-core host expect speedup <= 1; the point there is the bit-identical

@@ -11,6 +11,10 @@
    Run a subset by section-name prefix: dune exec bench/main.exe -- telemetry kernels
    Set CDR_OBS (see Cdr_obs.Sink) to stream JSONL telemetry while it runs. *)
 
+(* which Gauss-Seidel variant(s) a section exercised; reset to "lex" before
+   each section, recorded in its BENCH.json entry *)
+let section_smoother = ref "lex"
+
 let section name =
   Format.printf "@.============================================================@.";
   Format.printf "== %s@." name;
@@ -419,6 +423,40 @@ let exp_extensions () =
   let activity = Cdr.Activity.analyze model ~pi:solution.Markov.Solution.pi in
   Format.printf "%a@." Cdr.Activity.pp activity
 
+(* ---------- SMOKE: deterministic telemetry counters ---------- *)
+
+(* A tiny configuration exercised so that the metric counter deltas of this
+   section are exact integers — builds, solves, rebuilds, cache hits/misses —
+   never wall seconds. CI runs just this section (make bench-smoke) and
+   asserts the deltas from the BENCH.json it writes. *)
+let exp_smoke () =
+  section "SMOKE: deterministic telemetry counters on a tiny configuration";
+  let cfg =
+    Cdr.Config.create_exn
+      {
+        Cdr.Config.default with
+        Cdr.Config.grid_points = 32;
+        n_phases = 8;
+        counter_length = 3;
+        max_run = 4;
+        nw_max_atoms = 17;
+        sigma_w = 0.0610;
+      }
+  in
+  let cache = Cdr.Solver_cache.create () in
+  let model = Cdr.Model.build cfg in
+  let _ = Cdr.Model.solve ~cache model in
+  let _ = Cdr.Model.solve ~cache model in
+  let model2, reused = Cdr.Model.rebuild model { cfg with Cdr.Config.sigma_w = 0.0611 } in
+  let _ = Cdr.Model.solve ~cache model2 in
+  Format.printf "1 direct build, 3 multigrid solves, 1 in-place rebuild (pattern reused: %b)@."
+    reused;
+  Format.printf "solver cache: %d hits, %d misses@." (Cdr.Solver_cache.hits cache)
+    (Cdr.Solver_cache.misses cache);
+  Format.printf
+    "expected deltas: model.builds{via=direct}=1  model.solves{solver=multigrid}=3@.";
+  Format.printf "  model.rebuilds{pattern=reused}=1  solver_cache.hits=2  solver_cache.misses=1@."
+
 (* ---------- PARALLEL-SCALING: the Cdr_par domain pool ---------- *)
 
 let exp_parallel () =
@@ -489,6 +527,40 @@ let exp_parallel () =
       if Float.is_nan !t1 then t1 := dt;
       Format.printf "  %-6d %-10.2f %-10.2f@." jobs dt (!t1 /. dt))
     job_counts;
+  (* (c) the V-cycle interior under the pool: colored smoother (color classes
+     split over slots) plus pooled aggregation/restriction/prolongation.
+     Determinism here is the strong claim: pi must be bitwise identical for
+     every job count. *)
+  Format.printf "@.(c) multigrid V-cycles, colored smoother, %d states:@." n;
+  Format.printf "  %-6s %-10s %-10s %-14s@." "jobs" "wall (s)" "speedup" "pi bits";
+  let mg_setup =
+    Markov.Multigrid.setup ~smoother:`Colored ~hierarchy:(Cdr.Model.hierarchy model) chain
+  in
+  let t1 = ref nan in
+  let ref_bits = ref None in
+  List.iter
+    (fun jobs ->
+      let (sol, _), dt =
+        time (fun () ->
+            Cdr_par.Pool.with_pool ~jobs (fun pool ->
+                Markov.Multigrid.solve_with ~tol:1e-10 ~pool mg_setup chain))
+      in
+      if Float.is_nan !t1 then t1 := dt;
+      let bits = Array.map Int64.bits_of_float sol.Markov.Solution.pi in
+      let identical =
+        match !ref_bits with
+        | None ->
+            ref_bits := Some bits;
+            true
+        | Some r -> r = bits
+      in
+      Cdr_obs.Metrics.set_gauge "bench.mg_colored_seconds"
+        ~labels:[ ("jobs", string_of_int jobs) ]
+        dt;
+      Format.printf "  %-6d %-10.2f %-10.2f %-14s@." jobs dt (!t1 /. dt)
+        (if identical then "identical" else "DIFFER (bug!)"))
+    job_counts;
+  section_smoother := "lex,colored";
   Format.printf
     "@.results are bit-identical across job counts by construction (fixed slot grids,@.";
   Format.printf
@@ -565,6 +637,8 @@ let kernels () =
              | [] -> ()));
       Test.make ~name:"build-direct"
         (Staged.stage (fun () -> ignore (Cdr.Model.build_direct cfg_small)));
+      Test.make ~name:"build-direct-ref"
+        (Staged.stage (fun () -> ignore (Cdr.Model.build_direct_reference cfg_small)));
       Test.make ~name:"mg-solve"
         (Staged.stage (fun () -> ignore (Cdr.Model.solve ~tol:1e-8 model)));
     ]
@@ -580,11 +654,15 @@ let kernels () =
         (fun name est ->
           match Analyze.OLS.estimates est with
           | Some [ v ] ->
+              Cdr_obs.Metrics.set_gauge "bench.kernel_ns" ~labels:[ ("kernel", name) ] v;
               if v > 1e6 then Format.printf "  %-24s %12.3f ms/run@." name (v /. 1e6)
               else Format.printf "  %-24s %12.0f ns/run@." name v
           | Some _ | None -> Format.printf "  %-24s (no estimate)@." name)
         results)
-    tests
+    tests;
+  Format.printf
+    "@.(build-direct is the flat-state assembly; build-direct-ref the retired hashtable+COO@.";
+  Format.printf "path it is pinned against — same chain bit for bit, kept for the comparison.)@." 
 
 let sections =
   [
@@ -602,6 +680,7 @@ let sections =
     ("freq-track", exp_freq_track);
     ("extensions", exp_extensions);
     ("telemetry", exp_telemetry);
+    ("smoke", exp_smoke);
     ("parallel", exp_parallel);
     ("warm", exp_warm);
     ("kernels", kernels);
@@ -612,22 +691,37 @@ let sections =
 (* One flat counter snapshot ("name" or "name{k=v,...}" -> value); per-section
    deltas against it make the JSON self-contained without resetting the live
    registry mid-run. *)
+let series_key s =
+  match s.Cdr_obs.Metrics.labels with
+  | [] -> s.Cdr_obs.Metrics.name
+  | labels ->
+      s.Cdr_obs.Metrics.name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
+
 let counters_snapshot () =
   List.filter_map
     (fun s ->
       match s.Cdr_obs.Metrics.kind with
-      | Cdr_obs.Metrics.Counter n ->
-          let key =
-            match s.Cdr_obs.Metrics.labels with
-            | [] -> s.Cdr_obs.Metrics.name
-            | labels ->
-                s.Cdr_obs.Metrics.name ^ "{"
-                ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
-                ^ "}"
-          in
-          Some (key, n)
+      | Cdr_obs.Metrics.Counter n -> Some (series_key s, n)
       | _ -> None)
     (Cdr_obs.Metrics.dump ())
+
+(* gauges the section set or moved (bench sections use gauges for their own
+   measured numbers, e.g. kernel ns/run and colored-multigrid wall times) *)
+let gauges_snapshot () =
+  List.filter_map
+    (fun s ->
+      match s.Cdr_obs.Metrics.kind with
+      | Cdr_obs.Metrics.Gauge v -> Some (series_key s, v)
+      | _ -> None)
+    (Cdr_obs.Metrics.dump ())
+
+let gauges_delta before after =
+  List.filter_map
+    (fun (k, v) ->
+      if List.assoc_opt k before = Some v then None else Some (k, Cdr_obs.Jsonl.Num v))
+    after
 
 let counters_delta before after =
   List.filter_map
@@ -642,8 +736,16 @@ let bench_json_path =
 let write_bench_json per_section total =
   let sections_json =
     List.map
-      (fun (name, seconds, counters) ->
-        (name, Cdr_obs.Jsonl.Obj [ ("seconds", Cdr_obs.Jsonl.Num seconds); ("counters", Cdr_obs.Jsonl.Obj counters) ]))
+      (fun (name, seconds, counters, gauges, smoother) ->
+        ( name,
+          Cdr_obs.Jsonl.Obj
+            [
+              ("seconds", Cdr_obs.Jsonl.Num seconds);
+              ("jobs", Cdr_obs.Jsonl.Num (float_of_int (Cdr_par.Pool.default_jobs ())));
+              ("smoother", Cdr_obs.Jsonl.Str smoother);
+              ("counters", Cdr_obs.Jsonl.Obj counters);
+              ("gauges", Cdr_obs.Jsonl.Obj gauges);
+            ] ))
       per_section
   in
   let json =
@@ -672,11 +774,17 @@ let () =
         List.map
           (fun (name, f) ->
             let before = counters_snapshot () in
+            let gauges_before = gauges_snapshot () in
+            section_smoother := "lex";
             let (), dt = time f in
-            (name, dt, counters_delta before (counters_snapshot ())))
+            ( name,
+              dt,
+              counters_delta before (counters_snapshot ()),
+              gauges_delta gauges_before (gauges_snapshot ()),
+              !section_smoother ))
           selected
       in
-      let total = List.fold_left (fun acc (_, dt, _) -> acc +. dt) 0.0 per_section in
+      let total = List.fold_left (fun acc (_, dt, _, _, _) -> acc +. dt) 0.0 per_section in
       Format.printf "@.total bench time: %.1fs (%d/%d sections)@." total (List.length selected)
         (List.length sections);
       write_bench_json per_section total);

@@ -88,6 +88,16 @@ let solver =
   let doc = "Stationary solver: multigrid, power, or gauss-seidel." in
   Arg.(value & opt solver_conv `Multigrid & info [ "solver" ] ~doc)
 
+let smoother =
+  let smoother_conv = Arg.enum [ ("lex", `Lex); ("colored", `Colored) ] in
+  let doc =
+    "Gauss-Seidel variant inside multigrid V-cycles: $(b,lex) (serial reference order, the \
+     default) or $(b,colored) (multicolor smoother whose color classes run in parallel under \
+     $(b,--jobs); results agree with lex within the solver tolerance and are bit-identical \
+     across job counts)."
+  in
+  Arg.(value & opt smoother_conv `Lex & info [ "smoother" ] ~doc)
+
 (* the CLI exposes the three practical solvers; widen to Model.solve's type *)
 let widen_solver (s : [ `Multigrid | `Power | `Gauss_seidel ]) =
   (s
@@ -153,7 +163,7 @@ let metrics_file =
 (* ---------- analyze ---------- *)
 
 let analyze_term =
-  let run cfg solver jobs trace_file metrics_file =
+  let run cfg solver smoother jobs trace_file metrics_file =
     with_jobs jobs @@ fun pool ->
     Option.iter
       (fun path ->
@@ -174,10 +184,10 @@ let analyze_term =
           | oc -> (path, oc))
         metrics_file
     in
-    let report = Cdr.Report.run ~solver ~pool cfg in
+    let report = Cdr.Report.run ~solver ~pool ~smoother cfg in
     Format.printf "%a@." Cdr.Report.pp report;
-    let model = Cdr.Model.build cfg in
-    let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool model in
+    let model = Cdr.Model.build ~pool cfg in
+    let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool ~smoother model in
     let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
     Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
     Option.iter
@@ -191,7 +201,7 @@ let analyze_term =
       metrics_out;
     Cdr_obs.Sink.close_all ()
   in
-  Term.(const run $ config_term $ solver $ jobs $ trace_file $ metrics_file)
+  Term.(const run $ config_term $ solver $ smoother $ jobs $ trace_file $ metrics_file)
 
 let analyze_cmd =
   let doc = "Stationary phase-error density, BER and cycle-slip time for one configuration." in
@@ -204,10 +214,10 @@ let sweep_cmd =
     let doc = "Counter lengths to evaluate." in
     Arg.(value & opt (list int) [ 2; 4; 8; 16; 32 ] & info [ "lengths" ] ~doc)
   in
-  let run cfg solver jobs warm no_cache lengths =
+  let run cfg solver smoother jobs warm no_cache lengths =
     with_jobs jobs @@ fun pool ->
     let strategy = strategy_of warm no_cache in
-    let points = Cdr.Sweep.counter_lengths ~solver ~pool ~strategy cfg lengths in
+    let points = Cdr.Sweep.counter_lengths ~solver ~smoother ~pool ~strategy cfg lengths in
     Format.printf "%a@." Cdr.Sweep.pp_points points;
     (* one point list feeds both the table and the optimum: no re-solving *)
     let k, ber = Cdr.Sweep.optimal_of_points points in
@@ -215,7 +225,7 @@ let sweep_cmd =
   in
   let doc = "BER vs counter length (the paper's Figure 5)." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ config_term $ solver $ jobs $ warm_start $ no_cache $ lengths)
+    Term.(const run $ config_term $ solver $ smoother $ jobs $ warm_start $ no_cache $ lengths)
 
 (* ---------- sigma sweep ---------- *)
 
@@ -224,15 +234,15 @@ let sigma_cmd =
     let doc = "Eye-opening jitter levels to evaluate." in
     Arg.(value & opt (list float) [ 0.04; 0.05; 0.0625; 0.08; 0.1 ] & info [ "values" ] ~doc)
   in
-  let run cfg solver jobs warm no_cache sigmas =
+  let run cfg solver smoother jobs warm no_cache sigmas =
     with_jobs jobs @@ fun pool ->
     let strategy = strategy_of warm no_cache in
-    let points = Cdr.Sweep.sigma_w_values ~solver ~pool ~strategy cfg sigmas in
+    let points = Cdr.Sweep.sigma_w_values ~solver ~smoother ~pool ~strategy cfg sigmas in
     Format.printf "%a@." Cdr.Sweep.pp_points points
   in
   let doc = "BER vs eye-opening jitter level (the axis of the paper's Figure 4)." in
   Cmd.v (Cmd.info "sigma" ~doc)
-    Term.(const run $ config_term $ solver $ jobs $ warm_start $ no_cache $ sigmas)
+    Term.(const run $ config_term $ solver $ smoother $ jobs $ warm_start $ no_cache $ sigmas)
 
 (* ---------- slip ---------- *)
 

@@ -38,8 +38,9 @@ val analyze :
   ?cache:Solver_cache.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
+  ?smoother:Markov.Multigrid.smoother ->
   Model.t ->
   result * Markov.Solution.t
 (** Solve for the stationary distribution and evaluate everything. [?init],
-    [?cache], [?trace] and [?pool] are forwarded to the solver (see
-    {!Model.solve}). *)
+    [?cache], [?trace], [?pool] and [?smoother] are forwarded to the solver
+    (see {!Model.solve}). *)

@@ -166,11 +166,14 @@ let iter_successors cfg tables ~data:d ~counter:c ~phase f =
         detector_outcomes)
     tables.data_outcomes.(d)
 
-(* Direct compositional construction. *)
-let build_direct cfg =
+(* The original hashtable-and-COO direct construction, kept verbatim as the
+   reference the flat-state path ({!build_direct}) is pinned against: the
+   test suite asserts both produce bitwise-identical chains. Not used on any
+   production path. *)
+let build_direct_reference cfg =
   let cfg = Config.create_exn cfg in
   let model, build_seconds =
-    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "direct") ] @@ fun () ->
+    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "direct-ref") ] @@ fun () ->
   let tables = direct_tables cfg in
   (* BFS over reachable (data, counter, phase) states *)
   let index = Hashtbl.create 4096 in
@@ -215,11 +218,87 @@ let build_direct cfg =
   let states = Array.of_list (List.rev !order) in
   of_indexed ~config:cfg ~chain ~states ~build_seconds:0.0
   in
+  Cdr_obs.Metrics.incr "model.builds" ~labels:[ ("via", "direct-ref") ];
+  { model with build_seconds }
+
+(* Direct compositional construction, flat-state edition.
+
+   A global state (data, counter, phase) packs into the int
+   [((data * n_counter) + counter) * m + phase], so the whole construction
+   runs on dense int arrays: [state_of_key] maps packed key -> chain index
+   (-1 when unvisited), [order] is both the BFS worklist and the final
+   index -> key enumeration (FIFO discovery order, identical to the
+   reference path's registration order). The CSR is assembled row-major in
+   two symbolic passes plus a value pass ({!Sparse.Csr.assemble}) — no
+   hashtables, no COO staging, no per-row lists anywhere. Emission order per
+   row equals the reference path's, and duplicates sum in that order, so the
+   resulting chain is bitwise identical to {!build_direct_reference}'s.
+
+   [?pool] parallelizes the value pass over rows (bit-identical for every
+   job count; the enumerator only reads the precomputed tables). *)
+let build_direct ?pool cfg =
+  let cfg = Config.create_exn cfg in
+  let model, build_seconds =
+    Cdr_obs.Span.timed ~name:"model.build" ~attrs:[ ("via", "direct") ] @@ fun () ->
+  let tables = direct_tables cfg in
+  let m = cfg.Config.grid_points in
+  let n_data = Data_source.n_states cfg in
+  let n_counter = Counter.n_states cfg in
+  let key_space = n_data * n_counter * m in
+  let pack ~data ~counter ~phase = (((data * n_counter) + counter) * m) + phase in
+  let state_of_key = Array.make key_space (-1) in
+  let order = Array.make key_space 0 in
+  let count = ref 0 in
+  let register key =
+    if state_of_key.(key) < 0 then begin
+      state_of_key.(key) <- !count;
+      order.(!count) <- key;
+      incr count
+    end
+  in
+  let d0, c0, p0 = initial_state cfg in
+  register (pack ~data:d0 ~counter:c0 ~phase:p0);
+  let processed = ref 0 in
+  while !processed < !count do
+    let key = order.(!processed) in
+    incr processed;
+    iter_successors cfg tables ~data:(key / (n_counter * m)) ~counter:(key / m mod n_counter)
+      ~phase:(key mod m)
+      (fun (d', c', phase') _p -> register (pack ~data:d' ~counter:c' ~phase:phase'))
+  done;
+  let n = !count in
+  let emit_row i emit =
+    let key = order.(i) in
+    iter_successors cfg tables ~data:(key / (n_counter * m)) ~counter:(key / m mod n_counter)
+      ~phase:(key mod m)
+      (fun (d', c', phase') p -> emit state_of_key.(pack ~data:d' ~counter:c' ~phase:phase') p)
+  in
+  let csr = Sparse.Csr.assemble ?pool ~rows:n ~cols:n emit_row in
+  let chain = Markov.Chain.of_csr ~tol:1e-9 csr in
+  {
+    config = cfg;
+    chain;
+    n_states = n;
+    data_code = (fun i -> order.(i) / (n_counter * m));
+    counter_code = (fun i -> order.(i) / m mod n_counter);
+    phase_bin = (fun i -> order.(i) mod m);
+    index_of =
+      (fun ~data ~counter ~phase ->
+        if
+          data < 0 || data >= n_data || counter < 0 || counter >= n_counter || phase < 0
+          || phase >= m
+        then None
+        else
+          let s = state_of_key.(pack ~data ~counter ~phase) in
+          if s >= 0 then Some s else None);
+    build_seconds = 0.0;
+  }
+  in
   Cdr_obs.Metrics.incr "model.builds" ~labels:[ ("via", "direct") ];
   { model with build_seconds }
 
-let build ?(via = `Direct) cfg =
-  match via with `Direct -> build_direct cfg | `Network -> build_via_network cfg
+let build ?(via = `Direct) ?pool cfg =
+  match via with `Direct -> build_direct ?pool cfg | `Network -> build_via_network cfg
 
 (* The state space (and with it the reachability BFS) is determined by these
    parameters alone; the noise parameters only move transition values and,
@@ -232,40 +311,47 @@ let same_state_space a b =
 
 exception Pattern_mismatch
 
-let rebuild t cfg =
+let rebuild ?pool t cfg =
   let cfg = Config.create_exn cfg in
   let attempt () =
     if not (same_state_space t.config cfg) then None
     else begin
       let tables = direct_tables cfg in
       let tpm = Markov.Chain.tpm t.chain in
-      let row_ptr = tpm.Sparse.Csr.row_ptr and col_idx = tpm.Sparse.Csr.col_idx in
+      let row_ptr = tpm.Sparse.Csr.row_ptr in
       let values = Array.make (Sparse.Csr.nnz tpm) 0.0 in
+      let n = t.n_states in
       try
-        for i = 0 to t.n_states - 1 do
-          (* re-enumerate row [i]'s successors under the new noise
-             parameters, into the cached sparsity pattern: no BFS, no state
-             registration, no COO sort *)
-          let row_acc = Hashtbl.create 32 in
-          iter_successors cfg tables ~data:(t.data_code i) ~counter:(t.counter_code i)
-            ~phase:(t.phase_bin i)
-            (fun (data, counter, phase) p ->
-              match t.index_of ~data ~counter ~phase with
-              | None -> raise Pattern_mismatch
-              | Some col ->
-                  let prev = Option.value ~default:0.0 (Hashtbl.find_opt row_acc col) in
-                  Hashtbl.replace row_acc col (prev +. p));
-          (* the new row must have exactly the cached nonzeros: entries that
-             vanished or appeared mean the pattern moved (a fresh build would
-             produce a different CSR), so fall back to the full build *)
-          let live = Hashtbl.fold (fun _ p n -> if p > 0.0 then n + 1 else n) row_acc 0 in
-          if live <> row_ptr.(i + 1) - row_ptr.(i) then raise Pattern_mismatch;
-          for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-            match Hashtbl.find_opt row_acc col_idx.(k) with
-            | Some p when p > 0.0 -> values.(k) <- p
-            | Some _ | None -> raise Pattern_mismatch
-          done
-        done;
+        (* re-enumerate each row's successors under the new noise parameters
+           straight into the cached sparsity pattern: no BFS, no state
+           registration, no per-row hashtable — entry positions come from a
+           binary search in the cached row ([Csr.row_index]) and duplicates
+           accumulate in emission order, exactly as a fresh build would sum
+           them. Rows own disjoint value segments, so [?pool] splits them
+           over slots with bit-identical results for every job count. *)
+        let slots = if n < 4096 then 1 else min 16 (n / 2048) in
+        Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+            for i = s * n / slots to (((s + 1) * n / slots) - 1) do
+              iter_successors cfg tables ~data:(t.data_code i) ~counter:(t.counter_code i)
+                ~phase:(t.phase_bin i)
+                (fun (data, counter, phase) p ->
+                  match t.index_of ~data ~counter ~phase with
+                  | None -> raise Pattern_mismatch
+                  | Some col -> (
+                      match Sparse.Csr.row_index tpm i col with
+                      | -1 ->
+                          (* a nonzero outside the cached pattern means the
+                             pattern moved; a zero contribution outside it
+                             was invisible to the reference path's
+                             mismatch check too, so it is dropped *)
+                          if p > 0.0 then raise Pattern_mismatch
+                      | k -> values.(k) <- values.(k) +. p));
+              (* every cached nonzero must stay live: a vanished entry means
+                 a fresh build would produce a different CSR *)
+              for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+                if not (values.(k) > 0.0) then raise Pattern_mismatch
+              done
+            done);
         (* [refill] shares the structure arrays, so a multigrid setup built
            on the old chain matches the new one in O(1) *)
         let chain = Markov.Chain.of_csr ~tol:1e-9 (Sparse.Csr.refill tpm values) in
@@ -279,7 +365,7 @@ let rebuild t cfg =
       ({ model with build_seconds }, true)
   | None, _ ->
       Cdr_obs.Metrics.incr "model.rebuilds" ~labels:[ ("pattern", "fresh") ];
-      (build_direct cfg, false)
+      (build_direct ?pool cfg, false)
 
 let phase_marginal t ~pi =
   Markov.Stat.marginal ~pi ~label:t.phase_bin ~n_labels:t.config.Config.grid_points
@@ -332,7 +418,7 @@ let solver_name = function
   | `Arnoldi -> "arnoldi"
   | `Aggregation -> "aggregation"
 
-let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?init ?cache ?trace ?pool t =
+let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?init ?cache ?trace ?pool ?(smoother = `Lex) t =
   Cdr_obs.Span.with_ ~name:"model.solve" ~attrs:[ ("solver", solver_name solver) ] @@ fun () ->
   Cdr_obs.Metrics.incr "model.solves" ~labels:[ ("solver", solver_name solver) ];
   (* an init of the wrong length (e.g. threaded across a counter sweep whose
@@ -346,9 +432,13 @@ let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?init ?cache ?trace ?pool t =
       let solution, _stats =
         match cache with
         | Some cache ->
-            let s = Solver_cache.setup cache ~hierarchy:(fun () -> hierarchy t) t.chain in
+            let s =
+              Solver_cache.setup cache ~smoother ~hierarchy:(fun () -> hierarchy t) t.chain
+            in
             Markov.Multigrid.solve_with ~tol ?init ?trace ?pool s t.chain
-        | None -> Markov.Multigrid.solve ~tol ?init ?trace ?pool ~hierarchy:(hierarchy t) t.chain
+        | None ->
+            Markov.Multigrid.solve ~tol ?init ?trace ?pool ~smoother ~hierarchy:(hierarchy t)
+              t.chain
       in
       solution
   | `Power -> Markov.Power.solve ~tol ?init ?trace ?pool t.chain

@@ -30,20 +30,35 @@ val initial_state : Config.t -> int * int * int
 
 val build_via_network : Config.t -> t
 
-val build_direct : Config.t -> t
+val build_direct : ?pool:Cdr_par.Pool.t -> Config.t -> t
+(** Flat-state direct construction: global states pack into dense int keys
+    ([((data * n_counter) + counter) * grid_points + phase]), the
+    reachability BFS runs on flat int arrays, and the CSR is assembled in
+    two symbolic passes plus a value pass ({!Sparse.Csr.assemble}) — no
+    hashtables, COO staging or per-row lists anywhere on the path. [?pool]
+    parallelizes the value pass over rows; results are bit-identical for
+    every job count, and to {!build_direct_reference}. *)
 
-val build : ?via:[ `Network | `Direct ] -> Config.t -> t
-(** Default [`Direct]. *)
+val build_direct_reference : Config.t -> t
+(** The original hashtable-and-COO construction, kept as the reference the
+    flat path is pinned against (the test suite asserts both produce
+    bitwise-identical chains). Not used on any production path. *)
 
-val rebuild : t -> Config.t -> t * bool
+val build : ?via:[ `Network | `Direct ] -> ?pool:Cdr_par.Pool.t -> Config.t -> t
+(** Default [`Direct]. [?pool] applies to the direct path only. *)
+
+val rebuild : ?pool:Cdr_par.Pool.t -> t -> Config.t -> t * bool
 (** [rebuild t cfg] builds the model for [cfg] reusing [t]'s reachable-state
     enumeration and CSR sparsity pattern when only noise parameters
     ([sigma_w], [p01]/[p10], the [n_r] pmf, the dead zone, the [n_w]
     discretization) changed: successors are re-enumerated per state straight
     into the cached pattern — no reachability BFS, no state registration, no
-    COO sort — and the new TPM shares structure arrays with the old one
-    ({!Sparse.Csr.refill}), so a multigrid setup keyed on the old pattern
-    still matches in O(1).
+    COO sort, no per-row hashtables (entry positions come from a binary
+    search in the cached row, {!Sparse.Csr.row_index}) — and the new TPM
+    shares structure arrays with the old one ({!Sparse.Csr.refill}), so a
+    multigrid setup keyed on the old pattern still matches in O(1). [?pool]
+    splits the rows over slots (rows own disjoint value segments; results
+    are bit-identical for every job count).
 
     Returns [(model, true)] on the fast path. Whenever the fast path is not
     provably equivalent to a fresh build — a state-space parameter changed,
@@ -68,6 +83,7 @@ val solve :
   ?cache:Solver_cache.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
+  ?smoother:Markov.Multigrid.smoother ->
   t ->
   Markov.Solution.t
 (** Stationary distribution; default [`Multigrid] with the structured
@@ -81,8 +97,10 @@ val solve :
     selected solver's convergence recorder ([`Aggregation] does not record
     one). [?pool] is forwarded to the solvers that have deterministic
     parallel kernels (multigrid, power, the splittings); [`Aggregation] and
-    [`Arnoldi] ignore it. The whole solve runs inside a ["model.solve"]
-    span. *)
+    [`Arnoldi] ignore it. [?smoother] (multigrid only, default [`Lex])
+    selects the Gauss-Seidel variant — see {!Markov.Multigrid.smoother} —
+    and participates in the [?cache] key. The whole solve runs inside a
+    ["model.solve"] span. *)
 
 val solver_name :
   [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->

@@ -10,7 +10,7 @@ type t = {
   trace : Cdr_obs.Trace.t;
 }
 
-let run_model ?(solver = `Multigrid) ?pool ?init ?cache model =
+let run_model ?(solver = `Multigrid) ?pool ?init ?cache ?smoother model =
   Cdr_obs.Span.with_ ~name:"report.run" @@ fun () ->
   let trace =
     Cdr_obs.Trace.create
@@ -23,7 +23,7 @@ let run_model ?(solver = `Multigrid) ?pool ?init ?cache model =
   in
   let (result, solution), solve_seconds =
     Cdr_obs.Span.timed ~name:"report.solve" (fun () ->
-        Ber.analyze ~solver ?init ?cache ~trace ?pool model)
+        Ber.analyze ~solver ?init ?cache ~trace ?pool ?smoother model)
   in
   (* every solver records its outer-iteration count in the trace; the
      Solution count is the fallback for an instantly-converged (empty) trace *)
@@ -46,7 +46,7 @@ let run_model ?(solver = `Multigrid) ?pool ?init ?cache model =
     },
     solution )
 
-let run ?solver ?pool cfg = fst (run_model ?solver ?pool (Model.build cfg))
+let run ?solver ?pool ?smoother cfg = fst (run_model ?solver ?pool ?smoother (Model.build cfg))
 
 let header_line t =
   Printf.sprintf "COUNTER: %d  STDnw: %.1e  MAXnr: %.1e  BER: %.1e" t.config.Config.counter_length

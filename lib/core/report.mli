@@ -20,18 +20,24 @@ type t = {
   trace : Cdr_obs.Trace.t; (* per-iteration residual trace of the solve *)
 }
 
-val run : ?solver:[ `Multigrid | `Power | `Gauss_seidel ] -> ?pool:Cdr_par.Pool.t -> Config.t -> t
+val run :
+  ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?pool:Cdr_par.Pool.t ->
+  ?smoother:Markov.Multigrid.smoother ->
+  Config.t ->
+  t
 (** Build, solve, analyze, and time everything. The solve runs with a fresh
     {!Cdr_obs.Trace.t} (returned in [trace]); [iterations] is populated from
     that trace uniformly for all three solver choices, so V-cycles, power
-    steps and Gauss-Seidel sweeps are counted the same way. [?pool] is
-    forwarded to the solver kernels (see {!Model.solve}). *)
+    steps and Gauss-Seidel sweeps are counted the same way. [?pool] and
+    [?smoother] are forwarded to the solver kernels (see {!Model.solve}). *)
 
 val run_model :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
   ?pool:Cdr_par.Pool.t ->
   ?init:Linalg.Vec.t ->
   ?cache:Solver_cache.t ->
+  ?smoother:Markov.Multigrid.smoother ->
   Model.t ->
   t * Markov.Solution.t
 (** {!run} on an already built model, also returning the full stationary

@@ -32,8 +32,14 @@ let take_first p l =
 
 let truncate n l = List.filteri (fun i _ -> i < n) l
 
-let setup t ~hierarchy chain =
-  match take_first (fun s -> Markov.Multigrid.matches s chain) t.entries with
+let setup t ?(smoother = `Lex) ~hierarchy chain =
+  (* the smoother is part of the key: a [`Lex] setup carries no colorings,
+     so handing it to a colored solve (or vice versa) would silently change
+     the algorithm *)
+  let matches s =
+    Markov.Multigrid.smoother s = smoother && Markov.Multigrid.matches s chain
+  in
+  match take_first matches t.entries with
   | Some (s, rest) ->
       t.hits <- t.hits + 1;
       Cdr_obs.Metrics.incr "solver_cache.hits";
@@ -42,7 +48,7 @@ let setup t ~hierarchy chain =
   | None ->
       t.misses <- t.misses + 1;
       Cdr_obs.Metrics.incr "solver_cache.misses";
-      let s = Markov.Multigrid.setup ~hierarchy:(hierarchy ()) chain in
+      let s = Markov.Multigrid.setup ~smoother ~hierarchy:(hierarchy ()) chain in
       t.entries <- truncate t.max_entries (s :: t.entries);
       s
 

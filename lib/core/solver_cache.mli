@@ -22,10 +22,16 @@ val create : ?max_entries:int -> unit -> t
     [Invalid_argument] when [max_entries < 1]. *)
 
 val setup :
-  t -> hierarchy:(unit -> Markov.Partition.t list) -> Markov.Chain.t -> Markov.Multigrid.setup
-(** The cached setup matching the chain's sparsity pattern, or a fresh one
-    built from [hierarchy ()] (only evaluated on a miss) and inserted. The
-    returned setup is moved to the front of the LRU order. *)
+  t ->
+  ?smoother:Markov.Multigrid.smoother ->
+  hierarchy:(unit -> Markov.Partition.t list) ->
+  Markov.Chain.t ->
+  Markov.Multigrid.setup
+(** The cached setup matching the chain's sparsity pattern {e and} the
+    requested smoother (default [`Lex]; a [`Lex] setup carries no colorings,
+    so the smoother is part of the cache key), or a fresh one built from
+    [hierarchy ()] (only evaluated on a miss) and inserted. The returned
+    setup is moved to the front of the LRU order. *)
 
 val hits : t -> int
 val misses : t -> int

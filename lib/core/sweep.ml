@@ -5,10 +5,10 @@ type strategy = { warm_start : bool; reuse_setup : bool }
 let cold = { warm_start = false; reuse_setup = false }
 let warm = { warm_start = true; reuse_setup = true }
 
-let point ~attr_name ~attr_value config solver =
+let point ?smoother ~attr_name ~attr_value config solver =
   Cdr_obs.Span.with_ ~name:"sweep.point" ~attrs:[ (attr_name, attr_value) ] @@ fun () ->
   Cdr_obs.Metrics.incr "sweep.points";
-  { config; report = Report.run ?solver config }
+  { config; report = Report.run ?solver ?smoother config }
 
 (* One Report.run per pool slot: the sweep point is the parallel unit, so the
    solver inside each point runs serially (handing the pool down as well
@@ -55,8 +55,8 @@ let predict ~v ~v1 ~pi1 ~v2 ~pi2 =
    iterate, and (c) a structure-keyed [Solver_cache] of multigrid setups.
    Under [?pool] the chunks run in parallel and warm-starting happens within
    each worker's chunk; results return in the caller's original order. *)
-let map_points_continuation ?solver ?pool ~strategy ~compare ~attr_name ~attr_of ~param_of
-    ~config_of values =
+let map_points_continuation ?solver ?smoother ?pool ~strategy ~compare ~attr_name ~attr_of
+    ~param_of ~config_of values =
   let indexed = List.mapi (fun i v -> (i, v)) values in
   let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) indexed in
   let jobs = match pool with None -> 1 | Some p -> Cdr_par.Pool.jobs p in
@@ -83,7 +83,7 @@ let map_points_continuation ?solver ?pool ~strategy ~compare ~attr_name ~attr_of
             | Some (_, pi1, _), None -> Some pi1
             | None, _ -> None
         in
-        let report, solution = Report.run_model ?solver ?init ?cache model in
+        let report, solution = Report.run_model ?solver ?init ?cache ?smoother model in
         (match !prev with Some (_, pi1, v1) -> prev2 := Some (pi1, v1) | None -> ());
         prev := Some (model, solution.Markov.Solution.pi, param_of v);
         (idx, { config; report }))
@@ -99,28 +99,28 @@ let map_points_continuation ?solver ?pool ~strategy ~compare ~attr_name ~attr_of
   |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
   |> List.map snd
 
-let counter_lengths ?solver ?pool ?(strategy = cold) base lengths =
+let counter_lengths ?solver ?smoother ?pool ?(strategy = cold) base lengths =
   if (not strategy.warm_start) && not strategy.reuse_setup then
     map_points ?pool
       (fun k ->
         let config = Config.create_exn { base with Config.counter_length = k } in
-        point ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
+        point ?smoother ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
       lengths
   else
-    map_points_continuation ?solver ?pool ~strategy ~compare:Stdlib.compare
+    map_points_continuation ?solver ?smoother ?pool ~strategy ~compare:Stdlib.compare
       ~attr_name:"counter" ~attr_of:string_of_int ~param_of:float_of_int
       ~config_of:(fun k -> { base with Config.counter_length = k })
       lengths
 
-let sigma_w_values ?solver ?pool ?(strategy = cold) base sigmas =
+let sigma_w_values ?solver ?smoother ?pool ?(strategy = cold) base sigmas =
   if (not strategy.warm_start) && not strategy.reuse_setup then
     map_points ?pool
       (fun sigma ->
         let config = Config.create_exn { base with Config.sigma_w = sigma } in
-        point ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
+        point ?smoother ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
       sigmas
   else
-    map_points_continuation ?solver ?pool ~strategy ~compare:Stdlib.compare
+    map_points_continuation ?solver ?smoother ?pool ~strategy ~compare:Stdlib.compare
       ~attr_name:"sigma_w" ~attr_of:string_of_float ~param_of:Fun.id
       ~config_of:(fun sigma -> { base with Config.sigma_w = sigma })
       sigmas
@@ -135,10 +135,10 @@ let optimal_of_points = function
       in
       (best.config.Config.counter_length, best.report.Report.ber)
 
-let optimal_counter ?solver ?pool ?strategy base lengths =
+let optimal_counter ?solver ?smoother ?pool ?strategy base lengths =
   match lengths with
   | [] -> invalid_arg "Sweep.optimal_counter: no candidate lengths"
-  | _ -> optimal_of_points (counter_lengths ?solver ?pool ?strategy base lengths)
+  | _ -> optimal_of_points (counter_lengths ?solver ?smoother ?pool ?strategy base lengths)
 
 let pp_points ppf points =
   Format.fprintf ppf "@[<v>%-8s %-8s %-12s %-10s %-8s %s@,"

@@ -17,7 +17,10 @@
     per structure ({!Solver_cache}), and starts each solve from a secant
     extrapolation of the previous points' stationary vectors. Results agree
     with the cold path within the solver tolerance (the convergence test is
-    unchanged; only the starting point and the symbolic setup are reused). *)
+    unchanged; only the starting point and the symbolic setup are reused).
+
+    [?smoother] (multigrid only, default [`Lex]) selects the Gauss-Seidel
+    variant inside each point's V-cycles; see {!Markov.Multigrid.smoother}. *)
 
 type point = { config : Config.t; report : Report.t }
 
@@ -37,6 +40,7 @@ val warm : strategy
 
 val counter_lengths :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?smoother:Markov.Multigrid.smoother ->
   ?pool:Cdr_par.Pool.t ->
   ?strategy:strategy ->
   Config.t ->
@@ -46,6 +50,7 @@ val counter_lengths :
 
 val sigma_w_values :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?smoother:Markov.Multigrid.smoother ->
   ?pool:Cdr_par.Pool.t ->
   ?strategy:strategy ->
   Config.t ->
@@ -64,6 +69,7 @@ val optimal_of_points : point list -> int * float
 
 val optimal_counter :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
+  ?smoother:Markov.Multigrid.smoother ->
   ?pool:Cdr_par.Pool.t ->
   ?strategy:strategy ->
   Config.t ->

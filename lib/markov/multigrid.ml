@@ -1,5 +1,12 @@
 type stats = { cycles : int; levels : int; coarsest_size : int; smoothing_sweeps : int }
 
+type smoother = [ `Lex | `Colored ]
+
+(* Fixed slot grid for the pooled V-cycle kernels: a pure function of the
+   problem size, never of the job count, so the slot schedule (and therefore
+   every float-accumulation order) is identical with and without a pool. *)
+let slot_count len = if len < 4096 then 1 else min 16 (len / 2048)
+
 let default_hierarchy ~n ~coarsest =
   if coarsest < 1 then invalid_arg "Multigrid.default_hierarchy: coarsest must be >= 1";
   let rec build n acc =
@@ -68,6 +75,18 @@ type level = {
   target : int array; (* fine entry k -> index in the coarse value array *)
   fine_row : int array; (* fine entry k -> its row *)
   block_sizes : int array;
+  (* fine entries grouped by their coarse row (ascending k within a group):
+     coarse row [i] owns entries [agg_entries.(agg_ptr.(i)) ..
+     agg_entries.(agg_ptr.(i+1) - 1)]. The parallel aggregation kernel walks
+     one group per coarse row, so coarse value slots are write-disjoint
+     across rows and each slot accumulates its contributions in the same
+     ascending-k order as the serial pass over all entries. *)
+  agg_ptr : int array;
+  agg_entries : int array;
+  (* fine states grouped by block (ascending state within a group): the same
+     write-disjoint trick for block-weight and iterate restriction. *)
+  bw_ptr : int array;
+  bw_states : int array;
 }
 
 (* Symbolic aggregation: the coarse pattern is the image of the fine pattern
@@ -118,39 +137,147 @@ let make_level fine partition =
   (* pattern_of_csr copies row_ptr/col_idx; fine to reuse *)
   let block_sizes = Array.make nc 0 in
   Array.iter (fun b -> block_sizes.(b) <- block_sizes.(b) + 1) partition.Partition.map;
-  { partition; fine; coarse; target; fine_row; block_sizes }
+  (* counting sorts grouping fine entries by coarse row and fine states by
+     block, both ascending within a group *)
+  let agg_ptr = Array.make (nc + 1) 0 in
+  for k = 0 to nnz_f - 1 do
+    let bi = Partition.block partition fine_row.(k) in
+    agg_ptr.(bi + 1) <- agg_ptr.(bi + 1) + 1
+  done;
+  for b = 0 to nc - 1 do
+    agg_ptr.(b + 1) <- agg_ptr.(b + 1) + agg_ptr.(b)
+  done;
+  let agg_entries = Array.make nnz_f 0 in
+  let pos = Array.sub agg_ptr 0 nc in
+  for k = 0 to nnz_f - 1 do
+    let bi = Partition.block partition fine_row.(k) in
+    agg_entries.(pos.(bi)) <- k;
+    pos.(bi) <- pos.(bi) + 1
+  done;
+  let bw_ptr = Array.make (nc + 1) 0 in
+  Array.iter (fun b -> bw_ptr.(b + 1) <- bw_ptr.(b + 1) + 1) partition.Partition.map;
+  for b = 0 to nc - 1 do
+    bw_ptr.(b + 1) <- bw_ptr.(b + 1) + bw_ptr.(b)
+  done;
+  let bw_states = Array.make partition.Partition.n_fine 0 in
+  let pos = Array.sub bw_ptr 0 nc in
+  for i = 0 to partition.Partition.n_fine - 1 do
+    let b = partition.Partition.map.(i) in
+    bw_states.(pos.(b)) <- i;
+    pos.(b) <- pos.(b) + 1
+  done;
+  { partition; fine; coarse; target; fine_row; block_sizes; agg_ptr; agg_entries; bw_ptr; bw_states }
+
+(* Rows of one level grouped by color: within a color no two rows are
+   adjacent in the symmetrized sparsity graph, so a Gauss-Seidel update of
+   all rows of one color reads only values fixed before the color started —
+   rows of a color can run in any order (or in parallel) without changing a
+   single bit. Computed symbolically once per setup level. *)
+type coloring = {
+  n_colors : int;
+  color_ptr : int array; (* length n_colors + 1 *)
+  color_rows : int array; (* rows grouped by color, ascending within one *)
+}
+
+let make_coloring pat =
+  let neighbors i f =
+    for k = pat.trans_row_ptr.(i) to pat.trans_row_ptr.(i + 1) - 1 do
+      f pat.trans_col_idx.(k)
+    done;
+    for k = pat.row_ptr.(i) to pat.row_ptr.(i + 1) - 1 do
+      f pat.col_idx.(k)
+    done
+  in
+  let p = Partition.color ~n:pat.n neighbors in
+  let n_colors = p.Partition.n_coarse in
+  let color_ptr = Array.make (n_colors + 1) 0 in
+  Array.iter (fun c -> color_ptr.(c + 1) <- color_ptr.(c + 1) + 1) p.Partition.map;
+  for c = 0 to n_colors - 1 do
+    color_ptr.(c + 1) <- color_ptr.(c + 1) + color_ptr.(c)
+  done;
+  let color_rows = Array.make pat.n 0 in
+  let pos = Array.sub color_ptr 0 (max n_colors 1) in
+  for i = 0 to pat.n - 1 do
+    let c = p.Partition.map.(i) in
+    color_rows.(pos.(c)) <- i;
+    pos.(c) <- pos.(c) + 1
+  done;
+  { n_colors; color_ptr; color_rows }
 
 (* Numeric aggregation into preallocated arrays: coarse values from fine
-   values and the current iterate weights, rows renormalized to sum 1. *)
-let aggregate level ~fine_values ~weights ~coarse_values ~block_weight =
+   values and the current iterate weights, rows renormalized to sum 1.
+
+   Parallelized over coarse rows via the symbolic by-row groupings: each
+   coarse row owns a disjoint slice of [coarse_values] (its entries) and of
+   [block_weight] (its block), and within a row the by-group walks visit fine
+   contributions in the same ascending order as the serial scan over all
+   entries — so the pooled result is bitwise identical to the serial one for
+   any job count, pool or no pool. *)
+let aggregate ?pool level ~fine_values ~weights ~coarse_values ~block_weight =
   let partition = level.partition in
   let nc = partition.Partition.n_coarse in
-  Array.fill block_weight 0 nc 0.0;
-  Array.iteri
-    (fun i x -> block_weight.(partition.Partition.map.(i)) <- block_weight.(partition.Partition.map.(i)) +. x)
-    weights;
-  Array.fill coarse_values 0 (Array.length coarse_values) 0.0;
-  let nnz_f = Array.length fine_values in
-  for k = 0 to nnz_f - 1 do
-    let i = level.fine_row.(k) in
-    let b = partition.Partition.map.(i) in
-    let w =
-      if block_weight.(b) > 0.0 then weights.(i) /. block_weight.(b)
-      else 1.0 /. float_of_int level.block_sizes.(b)
-    in
-    coarse_values.(level.target.(k)) <- coarse_values.(level.target.(k)) +. (w *. fine_values.(k))
-  done;
-  (* renormalize rows: rounding dust accumulates across levels *)
-  for i = 0 to nc - 1 do
-    let s = ref 0.0 in
-    for k = level.coarse.row_ptr.(i) to level.coarse.row_ptr.(i + 1) - 1 do
-      s := !s +. coarse_values.(k)
-    done;
-    if !s > 0.0 then
-      for k = level.coarse.row_ptr.(i) to level.coarse.row_ptr.(i + 1) - 1 do
-        coarse_values.(k) <- coarse_values.(k) /. !s
-      done
-  done
+  let slots = slot_count nc in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for b = s * nc / slots to (((s + 1) * nc / slots) - 1) do
+        let acc = ref 0.0 in
+        for idx = level.bw_ptr.(b) to level.bw_ptr.(b + 1) - 1 do
+          acc := !acc +. weights.(level.bw_states.(idx))
+        done;
+        block_weight.(b) <- !acc
+      done);
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for i = s * nc / slots to (((s + 1) * nc / slots) - 1) do
+        let k_lo = level.coarse.row_ptr.(i) and k_hi = level.coarse.row_ptr.(i + 1) - 1 in
+        for k = k_lo to k_hi do
+          coarse_values.(k) <- 0.0
+        done;
+        let w_uniform = 1.0 /. float_of_int level.block_sizes.(i) in
+        let bw = block_weight.(i) in
+        for idx = level.agg_ptr.(i) to level.agg_ptr.(i + 1) - 1 do
+          let k = level.agg_entries.(idx) in
+          let fi = level.fine_row.(k) in
+          let w = if bw > 0.0 then weights.(fi) /. bw else w_uniform in
+          coarse_values.(level.target.(k)) <- coarse_values.(level.target.(k)) +. (w *. fine_values.(k))
+        done;
+        (* renormalize the row: rounding dust accumulates across levels *)
+        let sum = ref 0.0 in
+        for k = k_lo to k_hi do
+          sum := !sum +. coarse_values.(k)
+        done;
+        if !sum > 0.0 then
+          for k = k_lo to k_hi do
+            coarse_values.(k) <- coarse_values.(k) /. !sum
+          done
+      done)
+
+(* Iterate restriction: per-block sums of the fine iterate, again grouped so
+   blocks are write-disjoint and each block sums ascending fine states —
+   bitwise equal to the serial scatter for any job count. *)
+let restrict_iterate ?pool level ~fine ~coarse =
+  let nc = level.partition.Partition.n_coarse in
+  let slots = slot_count nc in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for b = s * nc / slots to (((s + 1) * nc / slots) - 1) do
+        let acc = ref 0.0 in
+        for idx = level.bw_ptr.(b) to level.bw_ptr.(b + 1) - 1 do
+          acc := !acc +. fine.(level.bw_states.(idx))
+        done;
+        coarse.(b) <- !acc
+      done)
+
+(* Multiplicative prolongation: element-wise over fine states, trivially
+   write-disjoint. *)
+let prolong_iterate ?pool level ~coarse ~block_weight ~x =
+  let n = level.partition.Partition.n_fine in
+  let slots = slot_count n in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for i = s * n / slots to (((s + 1) * n / slots) - 1) do
+        let b = level.partition.Partition.map.(i) in
+        let bw = block_weight.(b) in
+        x.(i) <-
+          (if bw > 0.0 then coarse.(b) *. x.(i) /. bw
+           else coarse.(b) /. float_of_int level.block_sizes.(b))
+      done)
 
 (* Gauss-Seidel sweeps for pi(I - P) = 0 on raw transposed-pattern arrays. *)
 let gauss_seidel_sweeps pat trans_values x sweeps =
@@ -175,8 +302,53 @@ let gauss_seidel_sweeps pat trans_values x sweeps =
       done
   done
 
-let scatter_transpose pat values trans_values =
-  Array.iteri (fun k v -> trans_values.(pat.trans_perm.(k)) <- v) values
+(* Multicolor Gauss-Seidel: sweep the rows color class by color class. Rows
+   within a class are pairwise non-adjacent, so each update reads only
+   iterate entries frozen before the class began — the class's rows can be
+   split over pool slots with bit-identical results for every job count.
+   The update order (color-major) differs from the lex sweep, so colored
+   fixed points agree with lex ones to solver tolerance, not bitwise; that
+   is why [`Lex] remains the default. [color_seconds.(c)] accumulates wall
+   seconds spent in color [c] across the sweeps. *)
+let colored_gauss_seidel_sweeps ?pool pat coloring trans_values x sweeps ~color_seconds =
+  let n = pat.n in
+  for _ = 1 to sweeps do
+    for c = 0 to coloring.n_colors - 1 do
+      let t0 = Cdr_obs.Clock.now () in
+      let lo = coloring.color_ptr.(c) in
+      let count = coloring.color_ptr.(c + 1) - lo in
+      let slots = slot_count count in
+      Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+          for idx = lo + (s * count / slots) to lo + (((s + 1) * count / slots) - 1) do
+            let i = coloring.color_rows.(idx) in
+            let acc = ref 0.0 and self = ref 0.0 in
+            for k = pat.trans_row_ptr.(i) to pat.trans_row_ptr.(i + 1) - 1 do
+              let j = pat.trans_col_idx.(k) in
+              if j = i then self := trans_values.(k)
+              else acc := !acc +. (trans_values.(k) *. x.(j))
+            done;
+            let denom = 1.0 -. !self in
+            x.(i) <- (if denom < 1e-300 then x.(i) else !acc /. denom)
+          done);
+      color_seconds.(c) <- color_seconds.(c) +. (Cdr_obs.Clock.now () -. t0)
+    done;
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. x.(i)
+    done;
+    if !s > 0.0 then
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) /. !s
+      done
+  done
+
+let scatter_transpose ?pool pat values trans_values =
+  let nnz = Array.length values in
+  let slots = slot_count nnz in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for k = s * nnz / slots to (((s + 1) * nnz / slots) - 1) do
+        trans_values.(pat.trans_perm.(k)) <- values.(k)
+      done)
 
 (* Per-level workspace allocated once. *)
 type workspace = {
@@ -186,6 +358,8 @@ type workspace = {
   x : Linalg.Vec.t; (* this level's iterate *)
   block_weight : Linalg.Vec.t; (* |coarse| scratch, when level present *)
   pat : pattern;
+  coloring : coloring option; (* Some iff the setup smoother is [`Colored] *)
+  color_seconds : float array; (* |colors| scratch for the sweep metric *)
 }
 
 (* Everything a V-cycle needs that depends on the sparsity structure alone:
@@ -200,9 +374,10 @@ type setup = {
   ref_row_ptr : int array;
   ref_col_idx : int array;
   workspaces : workspace array;
+  setup_smoother : smoother;
 }
 
-let setup ~hierarchy chain =
+let setup ?(smoother = `Lex) ~hierarchy chain =
   let n = Chain.n_states chain in
   validate_hierarchy ~n hierarchy;
   let fine_csr = Chain.tpm chain in
@@ -221,6 +396,11 @@ let setup ~hierarchy chain =
   (* workspaces: one per level plus the coarsest; the finest value array is
      filled from the chain at the start of each [solve_with] *)
   let workspaces =
+    (* the coarsest level is solved directly (GTH), so it never smooths and
+       needs no coloring *)
+    let smoothing_coloring pat =
+      match smoother with `Lex -> None | `Colored -> Some (make_coloring pat)
+    in
     let rec build pat values = function
       | [] ->
           [
@@ -231,10 +411,13 @@ let setup ~hierarchy chain =
               x = Array.make pat.n 0.0;
               block_weight = [||];
               pat;
+              coloring = None;
+              color_seconds = [||];
             };
           ]
       | (level : level) :: rest ->
           let coarse_values = Array.make (Array.length level.coarse.col_idx) 0.0 in
+          let coloring = smoothing_coloring pat in
           {
             level = Some level;
             values;
@@ -242,6 +425,11 @@ let setup ~hierarchy chain =
             x = Array.make pat.n 0.0;
             block_weight = Array.make level.partition.Partition.n_coarse 0.0;
             pat;
+            coloring;
+            color_seconds =
+              (match coloring with
+              | Some c -> Array.make (max c.n_colors 1) 0.0
+              | None -> [||]);
           }
           :: build level.coarse coarse_values rest
     in
@@ -253,9 +441,12 @@ let setup ~hierarchy chain =
     ref_row_ptr = fine_csr.Sparse.Csr.row_ptr;
     ref_col_idx = fine_csr.Sparse.Csr.col_idx;
     workspaces;
+    setup_smoother = smoother;
   }
 
 let levels s = Array.length s.workspaces
+
+let smoother s = s.setup_smoother
 
 let matches s chain =
   let m = Chain.tpm chain in
@@ -281,6 +472,27 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
     | Some t -> Cdr_obs.Trace.record_sweeps t ~level ~sweeps
     | None -> ()
   in
+  (* one smoothing call: lex or colored per the setup, timed per level (and
+     per color for the colored smoother) into multigrid.sweep_seconds *)
+  let smooth ws l sweeps =
+    (match ws.coloring with
+    | None ->
+        let t0 = Cdr_obs.Clock.now () in
+        gauss_seidel_sweeps ws.pat ws.trans_values ws.x sweeps;
+        Cdr_obs.Metrics.observe "multigrid.sweep_seconds"
+          ~labels:[ ("level", string_of_int l); ("color", "lex") ]
+          (Cdr_obs.Clock.now () -. t0)
+    | Some coloring ->
+        Array.fill ws.color_seconds 0 (Array.length ws.color_seconds) 0.0;
+        colored_gauss_seidel_sweeps ?pool ws.pat coloring ws.trans_values ws.x sweeps
+          ~color_seconds:ws.color_seconds;
+        for c = 0 to coloring.n_colors - 1 do
+          Cdr_obs.Metrics.observe "multigrid.sweep_seconds"
+            ~labels:[ ("level", string_of_int l); ("color", string_of_int c) ]
+            ws.color_seconds.(c)
+        done);
+    note_sweeps l sweeps
+  in
   (* dense GTH on the coarsest level *)
   let solve_coarsest () =
     let ws = coarsest in
@@ -299,30 +511,18 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
     if l = n_levels - 1 then solve_coarsest ()
     else begin
       let level = Option.get ws.level in
-      scatter_transpose ws.pat ws.values ws.trans_values;
-      gauss_seidel_sweeps ws.pat ws.trans_values ws.x pre_smooth;
-      note_sweeps l pre_smooth;
+      scatter_transpose ?pool ws.pat ws.values ws.trans_values;
+      smooth ws l pre_smooth;
       let next = workspaces.(l + 1) in
-      aggregate level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
+      aggregate ?pool level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
         ~block_weight:ws.block_weight;
-      (* restrict the iterate *)
-      Array.fill next.x 0 (Array.length next.x) 0.0;
-      Array.iteri
-        (fun i x -> next.x.(level.partition.Partition.map.(i)) <- next.x.(level.partition.Partition.map.(i)) +. x)
-        ws.x;
+      restrict_iterate ?pool level ~fine:ws.x ~coarse:next.x;
       cycle (l + 1);
       (* multiplicative prolongation using the pre-recursion block weights *)
-      for i = 0 to ws.pat.n - 1 do
-        let b = level.partition.Partition.map.(i) in
-        let bw = ws.block_weight.(b) in
-        ws.x.(i) <-
-          (if bw > 0.0 then next.x.(b) *. ws.x.(i) /. bw
-           else next.x.(b) /. float_of_int level.block_sizes.(b))
-      done;
+      prolong_iterate ?pool level ~coarse:next.x ~block_weight:ws.block_weight ~x:ws.x;
       let s = Linalg.Vec.sum ws.x in
       if s > 0.0 then Linalg.Vec.scale_in_place (1.0 /. s) ws.x;
-      gauss_seidel_sweeps ws.pat ws.trans_values ws.x post_smooth;
-      note_sweeps l post_smooth
+      smooth ws l post_smooth
     end
   in
   let x0 = workspaces.(0).x in
@@ -351,6 +551,7 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
       smoothing_sweeps = !smoothing_sweeps;
     } )
 
-let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ~hierarchy chain =
+let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ?smoother ~hierarchy chain
+    =
   solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool
-    (setup ~hierarchy chain) chain
+    (setup ?smoother ~hierarchy chain) chain

@@ -24,6 +24,18 @@ val block_size : t -> int -> int
 val blocks : t -> int list array
 (** Members of each block, ascending. *)
 
+val color : n:int -> (int -> (int -> unit) -> unit) -> t
+(** [color ~n neighbors] greedily colors the [n]-vertex graph whose
+    adjacency is enumerated by [neighbors i f] (calling [f j] per neighbor;
+    self-loops are ignored) and returns the coloring as a partition whose
+    blocks are the color classes: vertices sharing a block are pairwise
+    non-adjacent. Vertices are colored in index order with the smallest
+    available color, so the result is deterministic and the block labels are
+    contiguous from 0. The multicolor Gauss–Seidel smoother
+    ({!Multigrid.setup} with [`Colored]) colors each level's symmetrized
+    sparsity graph this way, once, symbolically. Raises [Invalid_argument]
+    on an out-of-range neighbor. *)
+
 val compose : t -> t -> t
 (** [compose fine coarse] first applies [fine] (n -> m) then [coarse]
     (m -> k), yielding an n -> k partition. *)

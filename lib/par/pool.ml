@@ -130,6 +130,35 @@ let run_slots t ~slots f =
       match Atomic.get failure with Some e -> raise e | None -> ()
     end
 
+(* The optional-pool variant the fixed-slot-grid kernels are written
+   against: a caller that computed a slot grid from its data structure alone
+   runs the same slots in the same order with or without a pool, so the
+   serial fallback is the parallel schedule with one worker — not a separate
+   code path that could drift numerically. *)
+let run_slots_opt pool ~slots f =
+  match pool with
+  | Some t when slots > 1 -> run_slots t ~slots f
+  | Some _ | None -> run_serial slots f
+
+(* Fixed-shape pairwise reduction over slot indices: merge [src] into [dst]
+   for the pair grid (1,0), (3,2), ... then (2,0), (6,4), ... doubling the
+   stride each round. The merge tree's shape depends only on [slots], and
+   each destination accumulates its sources in a fixed order, so a
+   non-associative [merge] (float accumulation) gives identical results for
+   any job count — and for no pool at all. *)
+let merge_tree ?pool ~slots merge =
+  let height = ref 1 in
+  while !height < slots do
+    let stride = 2 * !height in
+    let pairs = (slots + stride - 1) / stride in
+    let h = !height in
+    run_slots_opt pool ~slots:pairs (fun p ->
+        let dst = p * stride in
+        let src = dst + h in
+        if src < slots then merge ~dst ~src);
+    height := stride
+  done
+
 let parallel_for t ?chunk n f =
   if n > 0 then begin
     let chunk =

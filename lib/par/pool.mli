@@ -47,6 +47,22 @@ val run_slots : t -> slots:int -> (int -> unit) -> unit
     (if any) is re-raised in the caller. This is the primitive the other
     combinators (and the sparse kernels' fixed slot grids) are built on. *)
 
+val run_slots_opt : t option -> slots:int -> (int -> unit) -> unit
+(** {!run_slots} against an optional pool: with [None] (or a single slot)
+    the slots run serially in index order on the caller. Kernels that
+    compute a fixed slot grid from their data structure use this so the
+    serial path executes the {e same} slot schedule as the pooled one —
+    one code path, bit-identical results with or without a pool. *)
+
+val merge_tree : ?pool:t -> slots:int -> (dst:int -> src:int -> unit) -> unit
+(** Pairwise tree reduction over slot indices [0 .. slots-1]: calls
+    [merge ~dst ~src] for the fixed pair grid (stride 2, then 4, 8, …),
+    leaving the combined result in slot 0. The tree's shape depends only on
+    [slots] and every destination accumulates its sources in a fixed order,
+    so non-associative merges (float accumulation into per-slot partials)
+    are deterministic for any job count, pool or no pool. Pairs within one
+    stride run as a pooled batch when [?pool] is given. *)
+
 val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for t n f] runs [f 0 .. f (n - 1)] in chunks of [chunk]
     consecutive indexes (default: an even split into at most [4 * jobs]

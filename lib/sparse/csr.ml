@@ -85,6 +85,21 @@ let get m i j =
   done;
   !result
 
+let row_index m i j =
+  let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
+  let result = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = m.col_idx.(mid) in
+    if c = j then begin
+      result := mid;
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
 let iter_row m i f =
   for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
     f m.col_idx.(k) m.values.(k)
@@ -153,27 +168,15 @@ let vec_mul_into ?pool x m y =
        accumulates into its own partial vector; the partials are then merged
        pairwise in a fixed tree. Both the slot grid and the tree shape are
        independent of the job count, hence deterministic (see DESIGN.md). *)
-    let pool = Option.get pool in
     let partials = Array.init slots (fun _ -> Array.make m.cols 0.0) in
-    Cdr_par.Pool.run_slots pool ~slots (fun s ->
+    Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
         scatter_rows m x partials.(s) ~lo:(s * m.rows / slots)
           ~hi:(((s + 1) * m.rows / slots) - 1));
-    let height = ref 1 in
-    while !height < slots do
-      let stride = 2 * !height in
-      let pairs = (slots + stride - 1) / stride in
-      let h = !height in
-      Cdr_par.Pool.run_slots pool ~slots:pairs (fun p ->
-          let a = p * stride in
-          let b = a + h in
-          if b < slots then begin
-            let pa = partials.(a) and pb = partials.(b) in
-            for j = 0 to m.cols - 1 do
-              pa.(j) <- pa.(j) +. pb.(j)
-            done
-          end);
-      height := stride
-    done;
+    Cdr_par.Pool.merge_tree ?pool ~slots (fun ~dst ~src ->
+        let pa = partials.(dst) and pb = partials.(src) in
+        for j = 0 to m.cols - 1 do
+          pa.(j) <- pa.(j) +. pb.(j)
+        done);
     Array.blit partials.(0) 0 y 0 m.cols
   end
 
@@ -193,6 +196,78 @@ let refill m values =
     (fun v -> if not (Float.is_finite v) then invalid_arg "Csr.refill: non-finite value")
     values;
   { m with values }
+
+(* Two-pass assembly from a per-row enumerator: count distinct columns per
+   row, fill and sort the column indices, then accumulate values straight
+   into the final array — no COO staging, no per-row hash tables, no lists.
+   [mark] stamps a column with the identity of the pass+row that last
+   touched it, so neither counting pass resets it. *)
+let assemble ?pool ~rows ~cols row =
+  if rows < 0 || cols < 0 then invalid_arg "Csr.assemble: negative dimension";
+  let mark = Array.make (max cols 1) (-1) in
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    let count = ref 0 in
+    row i (fun j _ ->
+        if j < 0 || j >= cols then invalid_arg "Csr.assemble: column out of range";
+        if mark.(j) <> i then begin
+          mark.(j) <- i;
+          incr count
+        end);
+    row_ptr.(i + 1) <- row_ptr.(i) + !count
+  done;
+  let total = row_ptr.(rows) in
+  let col_idx = Array.make total 0 in
+  for i = 0 to rows - 1 do
+    let pos = ref row_ptr.(i) in
+    row i (fun j _ ->
+        (* stamps offset by [rows] so the counting pass's stamps read as stale *)
+        if mark.(j) <> rows + i then begin
+          mark.(j) <- rows + i;
+          col_idx.(!pos) <- j;
+          incr pos
+        end);
+    (* insertion sort within the row: successor enumerations emit short,
+       nearly sorted column runs *)
+    for k = row_ptr.(i) + 1 to row_ptr.(i + 1) - 1 do
+      let v = col_idx.(k) in
+      let p = ref (k - 1) in
+      while !p >= row_ptr.(i) && col_idx.(!p) > v do
+        col_idx.(!p + 1) <- col_idx.(!p);
+        decr p
+      done;
+      col_idx.(!p + 1) <- v
+    done
+  done;
+  (* value fill: rows own disjoint segments of [values] and duplicates sum
+     in emission order, so any slot schedule produces identical bits *)
+  let values = Array.make total 0.0 in
+  let fill i =
+    row i (fun j v ->
+        let lo = ref row_ptr.(i) and hi = ref (row_ptr.(i + 1) - 1) in
+        let k = ref (-1) in
+        while !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          let c = col_idx.(mid) in
+          if c = j then begin
+            k := mid;
+            lo := !hi + 1
+          end
+          else if c < j then lo := mid + 1
+          else hi := mid - 1
+        done;
+        values.(!k) <- values.(!k) +. v)
+  in
+  let slots =
+    match pool with
+    | None -> 1
+    | Some _ -> if total < 1 lsl 14 then 1 else min 16 (max 1 (rows / 64))
+  in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for i = s * rows / slots to ((s + 1) * rows / slots) - 1 do
+        fill i
+      done);
+  unsafe_make ~rows ~cols ~row_ptr ~col_idx ~values
 
 let transpose m =
   let tn = Array.make m.cols 0 in

@@ -33,6 +33,11 @@ val nnz : t -> int
 val get : t -> int -> int -> float
 (** Binary search within the row; absent entries read as [0.]. *)
 
+val row_index : t -> int -> int -> int
+(** Position of entry [(i, j)] in the value array, or [-1] when the pattern
+    has no such entry. The in-place refill primitive behind
+    [Cdr.Model.rebuild]'s flat row-refill path. *)
+
 val iter_row : t -> int -> (int -> float -> unit) -> unit
 
 val iter : t -> (int -> int -> float -> unit) -> unit
@@ -68,6 +73,23 @@ val refill : t -> float array -> t
     O(1) check and pattern-keyed solver setups (see [Markov.Multigrid.setup])
     can be reused across refills. The array is owned by the result; raises
     [Invalid_argument] on a length mismatch or a non-finite value. *)
+
+val assemble :
+  ?pool:Cdr_par.Pool.t -> rows:int -> cols:int -> (int -> (int -> float -> unit) -> unit) -> t
+(** [assemble ~rows ~cols row] builds a matrix from a per-row enumerator:
+    [row i emit] must call [emit j v] once per (not necessarily distinct)
+    entry of row [i]. Assembly is two symbolic passes plus a value pass —
+    count distinct columns per row, fill and sort [col_idx], then accumulate
+    values directly into the final array. Duplicate columns are summed {e in
+    emission order}, exactly as a per-row accumulator would, and no
+    intermediate COO/hashtable/list storage exists at any point.
+
+    With [?pool] the value pass runs rows in parallel: rows write disjoint
+    segments and each entry's duplicates still sum in emission order, so the
+    result is bit-identical for every job count (and to the serial path).
+    [row] is then called concurrently from several domains for distinct [i]
+    and must be safe under that (pure lookups into immutable tables are).
+    The enumerator is invoked exactly three times per row. *)
 
 val transpose : t -> t
 

@@ -1,0 +1,146 @@
+(* Tests for the parallel V-cycle interior and the flat-state model assembly:
+   colored-smoother fixed points agree with lexicographic ones to solver
+   tolerance, every pooled kernel (colored smoothing, aggregation /
+   restriction / prolongation, CSR value fill, rebuild row refill) is
+   bitwise deterministic at jobs=1 vs jobs=4, and the flat assembly path is
+   pinned bit-for-bit against the retired hashtable-and-COO construction. *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x -> if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+(* small enough to solve in milliseconds, large enough for a 4-level
+   hierarchy and multi-slot pooled kernels *)
+let cfg = { Cdr.Config.default with Cdr.Config.grid_points = 64; max_run = 4 }
+
+let model = lazy (Cdr.Model.build cfg)
+
+let chain () = (Lazy.force model).Cdr.Model.chain
+
+let hierarchy () = Cdr.Model.hierarchy (Lazy.force model)
+
+(* ---------- colored smoother: correctness ---------- *)
+
+let test_colored_vs_lex_fixed_point () =
+  let chain = chain () in
+  let hierarchy = hierarchy () in
+  let lex = Markov.Multigrid.setup ~hierarchy chain in
+  let colored = Markov.Multigrid.setup ~smoother:`Colored ~hierarchy chain in
+  check_bool "setup remembers lex" true (Markov.Multigrid.smoother lex = `Lex);
+  check_bool "setup remembers colored" true (Markov.Multigrid.smoother colored = `Colored);
+  let sol_lex, _ = Markov.Multigrid.solve_with ~tol:1e-11 lex chain in
+  let sol_col, _ = Markov.Multigrid.solve_with ~tol:1e-11 colored chain in
+  (* both are stationary to tolerance... *)
+  check_bool "lex residual small" true (Markov.Chain.residual chain sol_lex.Markov.Solution.pi < 1e-10);
+  check_bool "colored residual small" true
+    (Markov.Chain.residual chain sol_col.Markov.Solution.pi < 1e-10);
+  (* ...and agree with each other far below any physical quantity of
+     interest; they need NOT agree bitwise (color-major sweep order differs
+     from lexicographic), which is exactly why `Lex stays the default. *)
+  let dist = ref 0.0 in
+  Array.iteri
+    (fun i p -> dist := !dist +. abs_float (p -. sol_col.Markov.Solution.pi.(i)))
+    sol_lex.Markov.Solution.pi;
+  check_bool "L1 distance below 1e-9" true (!dist < 1e-9)
+
+(* ---------- pooled kernels: bitwise determinism ---------- *)
+
+let solve_colored pool =
+  let chain = chain () in
+  let s = Markov.Multigrid.setup ~smoother:`Colored ~hierarchy:(hierarchy ()) chain in
+  let sol, _ = Markov.Multigrid.solve_with ~tol:1e-10 ?pool s chain in
+  sol.Markov.Solution.pi
+
+let test_colored_bitwise_across_jobs () =
+  let serial = solve_colored None in
+  let p1 = Cdr_par.Pool.with_pool ~jobs:1 (fun pool -> solve_colored (Some pool)) in
+  let p4 = Cdr_par.Pool.with_pool ~jobs:4 (fun pool -> solve_colored (Some pool)) in
+  check_bool "colored: serial = pooled jobs=1" true (bits_equal serial p1);
+  check_bool "colored: pooled jobs=1 = jobs=4" true (bits_equal p1 p4)
+
+let test_lex_solve_unchanged_by_pool () =
+  (* with the default lex smoother the pooled V-cycle interior (aggregation,
+     restriction, prolongation, transpose scatter) must not move a single
+     bit relative to the serial solve *)
+  let chain = chain () in
+  let solve pool =
+    let s = Markov.Multigrid.setup ~hierarchy:(hierarchy ()) chain in
+    let sol, _ = Markov.Multigrid.solve_with ~tol:1e-10 ?pool s chain in
+    sol.Markov.Solution.pi
+  in
+  let serial = solve None in
+  let p4 = Cdr_par.Pool.with_pool ~jobs:4 (fun pool -> solve (Some pool)) in
+  check_bool "lex: serial = pooled jobs=4" true (bits_equal serial p4)
+
+(* ---------- flat assembly: pinned against the reference path ---------- *)
+
+let csr_of m = Markov.Chain.tpm m.Cdr.Model.chain
+
+let test_flat_equals_reference () =
+  let flat = Cdr.Model.build_direct cfg in
+  let reference = Cdr.Model.build_direct_reference cfg in
+  check_int "state count" reference.Cdr.Model.n_states flat.Cdr.Model.n_states;
+  let a = csr_of flat and b = csr_of reference in
+  Alcotest.(check (array int)) "row_ptr" b.Sparse.Csr.row_ptr a.Sparse.Csr.row_ptr;
+  Alcotest.(check (array int)) "col_idx" b.Sparse.Csr.col_idx a.Sparse.Csr.col_idx;
+  check_bool "values bitwise" true (bits_equal b.Sparse.Csr.values a.Sparse.Csr.values);
+  (* same state enumeration order, not just the same matrix *)
+  for i = 0 to flat.Cdr.Model.n_states - 1 do
+    if
+      flat.Cdr.Model.data_code i <> reference.Cdr.Model.data_code i
+      || flat.Cdr.Model.counter_code i <> reference.Cdr.Model.counter_code i
+      || flat.Cdr.Model.phase_bin i <> reference.Cdr.Model.phase_bin i
+    then Alcotest.failf "state %d decodes differently on the two paths" i
+  done
+
+let test_value_fill_bitwise_across_jobs () =
+  let serial = csr_of (Cdr.Model.build_direct cfg) in
+  let p1 =
+    Cdr_par.Pool.with_pool ~jobs:1 (fun pool -> csr_of (Cdr.Model.build_direct ~pool cfg))
+  in
+  let p4 =
+    Cdr_par.Pool.with_pool ~jobs:4 (fun pool -> csr_of (Cdr.Model.build_direct ~pool cfg))
+  in
+  check_bool "value fill: serial = pooled jobs=1" true
+    (bits_equal serial.Sparse.Csr.values p1.Sparse.Csr.values);
+  check_bool "value fill: pooled jobs=1 = jobs=4" true
+    (bits_equal p1.Sparse.Csr.values p4.Sparse.Csr.values)
+
+let test_rebuild_bitwise_across_jobs () =
+  let base = Lazy.force model in
+  let cfg' = { cfg with Cdr.Config.sigma_w = cfg.Cdr.Config.sigma_w +. 1e-4 } in
+  let serial, reused = Cdr.Model.rebuild base cfg' in
+  check_bool "pattern reused" true reused;
+  let p4, reused4 =
+    Cdr_par.Pool.with_pool ~jobs:4 (fun pool -> Cdr.Model.rebuild ~pool base cfg')
+  in
+  check_bool "pattern reused under pool" true reused4;
+  check_bool "rebuild row refill: serial = pooled jobs=4" true
+    (bits_equal (csr_of serial).Sparse.Csr.values (csr_of p4).Sparse.Csr.values)
+
+let () =
+  Alcotest.run "mg_par"
+    [
+      ( "colored smoother",
+        [
+          Alcotest.test_case "fixed point agrees with lex" `Quick test_colored_vs_lex_fixed_point;
+          Alcotest.test_case "bitwise across job counts" `Quick test_colored_bitwise_across_jobs;
+          Alcotest.test_case "lex solve unchanged by pool" `Quick test_lex_solve_unchanged_by_pool;
+        ] );
+      ( "flat assembly",
+        [
+          Alcotest.test_case "bitwise equal to reference path" `Quick test_flat_equals_reference;
+          Alcotest.test_case "value fill bitwise across jobs" `Quick
+            test_value_fill_bitwise_across_jobs;
+          Alcotest.test_case "rebuild refill bitwise across jobs" `Quick
+            test_rebuild_bitwise_across_jobs;
+        ] );
+    ]
