@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke serve-smoke clean
 
 all: build
 
@@ -48,6 +48,13 @@ bench-smoke:
 	grep -q '"solver_cache.hits":2' /tmp/bench.json
 	grep -q '"solver_cache.misses":1' /tmp/bench.json
 	@echo "bench smoke: all counter deltas as expected"
+
+# End-to-end serving smoke: a canned mixed JSONL session through cdr_serve's
+# stdio mode (every request kind plus malformed input), then deterministic
+# deadline-timeout, queue-overload and SIGTERM-drain checks. Assertions are
+# structural (ids, error codes, cache-hit counters) — never wall times.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
 
 # Domain-pool scaling: sweep + SpMV wall times at jobs 1/2/4/8. On a
 # single-core host expect speedup <= 1; the point there is the bit-identical

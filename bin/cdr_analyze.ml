@@ -10,70 +10,63 @@
      solvers  - iteration/time comparison of the stationary solvers *)
 
 open Cmdliner
+module Params = Cdr_svc.Params
 
-(* ---------- shared configuration flags ---------- *)
+(* ---------- shared configuration flags ----------
+
+   The flags populate the same Cdr_svc.Params.t the serving protocol's
+   "params" object decodes into, so the CLI and the server share one field
+   set, one set of defaults and one Config conversion. *)
 
 let grid =
   let doc = "Phase-error grid bins over [-1/2, 1/2) (even, multiple of n-phases)." in
-  Arg.(value & opt int Cdr.Config.default.Cdr.Config.grid_points & info [ "grid" ] ~doc)
+  Arg.(value & opt int Params.default.Params.grid & info [ "grid" ] ~doc)
 
 let n_phases =
   let doc = "Number of VCO clock phases (selector step G = 1/n-phases UI)." in
-  Arg.(value & opt int Cdr.Config.default.Cdr.Config.n_phases & info [ "phases" ] ~doc)
+  Arg.(value & opt int Params.default.Params.phases & info [ "phases" ] ~doc)
 
 let counter =
   let doc = "Up/down counter overflow length K." in
-  Arg.(value & opt int Cdr.Config.default.Cdr.Config.counter_length & info [ "counter"; "k" ] ~doc)
+  Arg.(value & opt int Params.default.Params.counter & info [ "counter"; "k" ] ~doc)
 
 let sigma_w =
   let doc = "Std of the white Gaussian eye-opening jitter n_w (UI)." in
-  Arg.(value & opt float Cdr.Config.default.Cdr.Config.sigma_w & info [ "sigma-w" ] ~doc)
+  Arg.(value & opt float Params.default.Params.sigma_w & info [ "sigma-w" ] ~doc)
 
 let drift_mean =
   let doc = "Mean of the n_r drift jitter in grid bins per bit." in
-  Arg.(value & opt float 0.1 & info [ "drift-mean" ] ~doc)
+  Arg.(value & opt float Params.default.Params.drift_mean & info [ "drift-mean" ] ~doc)
 
 let drift_max =
   let doc = "Support bound of the n_r drift jitter in grid bins." in
-  Arg.(value & opt int 2 & info [ "drift-max" ] ~doc)
+  Arg.(value & opt int Params.default.Params.drift_max & info [ "drift-max" ] ~doc)
 
 let max_run =
   let doc = "Longest run of identical bits in the data (forced transition after)." in
-  Arg.(value & opt int Cdr.Config.default.Cdr.Config.max_run & info [ "max-run" ] ~doc)
+  Arg.(value & opt int Params.default.Params.max_run & info [ "max-run" ] ~doc)
 
 let p_transition =
   let doc = "Per-bit data transition probability (both directions)." in
-  Arg.(value & opt float 0.5 & info [ "p-transition" ] ~doc)
+  Arg.(value & opt float Params.default.Params.p_transition & info [ "p-transition" ] ~doc)
 
 let config_term =
-  let make grid n_phases counter sigma_w drift_mean drift_max max_run p =
-    match
-      Cdr.Config.validate
-        {
-          Cdr.Config.default with
-          Cdr.Config.grid_points = grid;
-          n_phases;
-          counter_length = counter;
-          sigma_w;
-          nr = Prob.Jitter.drift ~max_steps:drift_max ~mean_steps:drift_mean ();
-          max_run;
-          p01 = p;
-          p10 = p;
-        }
-    with
-    | Ok () ->
-        Ok
-          {
-            Cdr.Config.default with
-            Cdr.Config.grid_points = grid;
-            n_phases;
-            counter_length = counter;
-            sigma_w;
-            nr = Prob.Jitter.drift ~max_steps:drift_max ~mean_steps:drift_mean ();
-            max_run;
-            p01 = p;
-            p10 = p;
-          }
+  let make grid phases counter sigma_w drift_mean drift_max max_run p_transition =
+    let params =
+      {
+        Params.default with
+        Params.grid;
+        phases;
+        counter;
+        sigma_w;
+        drift_mean;
+        drift_max;
+        max_run;
+        p_transition;
+      }
+    in
+    match Params.to_config params with
+    | Ok cfg -> Ok cfg
     | Error msg -> Error (`Msg ("invalid configuration: " ^ msg))
   in
   Term.(
@@ -212,7 +205,7 @@ let analyze_cmd =
 let sweep_cmd =
   let lengths =
     let doc = "Counter lengths to evaluate." in
-    Arg.(value & opt (list int) [ 2; 4; 8; 16; 32 ] & info [ "lengths" ] ~doc)
+    Arg.(value & opt (list int) Cdr_svc.Protocol.default_lengths & info [ "lengths" ] ~doc)
   in
   let run cfg solver smoother jobs warm no_cache lengths =
     with_jobs jobs @@ fun pool ->
@@ -232,7 +225,7 @@ let sweep_cmd =
 let sigma_cmd =
   let sigmas =
     let doc = "Eye-opening jitter levels to evaluate." in
-    Arg.(value & opt (list float) [ 0.04; 0.05; 0.0625; 0.08; 0.1 ] & info [ "values" ] ~doc)
+    Arg.(value & opt (list float) Cdr_svc.Protocol.default_sigmas & info [ "values" ] ~doc)
   in
   let run cfg solver smoother jobs warm no_cache sigmas =
     with_jobs jobs @@ fun pool ->

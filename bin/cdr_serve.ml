@@ -1,0 +1,85 @@
+(* JSON-lines analysis server: one request per input line, one response per
+   line back. Stdin/stdout by default, a Unix-domain stream socket with
+   --socket. See Cdr_svc.Protocol for the request/response format. *)
+
+open Cmdliner
+
+let socket =
+  let doc =
+    "Serve on a Unix-domain stream socket bound at $(docv) (removed on exit) instead of \
+     stdin/stdout. Each connection speaks the same line protocol; all connections share one \
+     solve loop, solver cache and domain pool."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let queue_bound =
+  let doc =
+    "Maximum number of admitted-but-not-yet-executing requests. Requests beyond the bound are \
+     refused immediately with an $(b,overloaded) error instead of queuing unboundedly."
+  in
+  Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N" ~doc)
+
+let jobs =
+  let doc =
+    "Worker domains for the solver kernels (parallelism lives inside a request; requests \
+     execute one at a time). Default: serial."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let default_deadline_ms =
+  let doc =
+    "Deadline applied to requests that carry no $(b,deadline_ms) field, in milliseconds from \
+     admission. Expired requests are answered with a $(b,timeout) error; the server keeps \
+     serving."
+  in
+  Arg.(value & opt (some float) None & info [ "default-deadline-ms" ] ~docv:"MS" ~doc)
+
+let summary =
+  let doc =
+    "On exit, print the metrics registry (request counts, latency histograms, queue depth, \
+     solver-cache hit/miss/eviction counters) to stderr."
+  in
+  Arg.(value & flag & info [ "summary" ] ~doc)
+
+let run socket queue_bound jobs default_deadline_ms summary =
+  if queue_bound < 1 then begin
+    Format.eprintf "cdr_serve: --queue-bound must be >= 1@.";
+    exit 2
+  end;
+  (match jobs with
+  | Some j when j < 1 ->
+      Format.eprintf "cdr_serve: --jobs must be >= 1@.";
+      exit 2
+  | _ -> ());
+  Cdr_obs.Sink.init_from_env ();
+  let cfg = { Cdr_svc.Server.queue_bound; jobs; default_deadline_ms } in
+  (match socket with
+  | None -> Cdr_svc.Server.run_stdio cfg
+  | Some path -> Cdr_svc.Server.run_socket ~path cfg);
+  if summary then Format.eprintf "%a@." Cdr_obs.Metrics.pp ();
+  Cdr_obs.Sink.close_all ()
+
+let cmd =
+  let doc = "Long-running JSON-lines analysis service for the CDR stochastic analysis" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads one JSON request per line and writes one JSON response per line. Request kinds: \
+         $(b,analyze) (stationary density, BER, cycle-slip time), $(b,sweep) (BER vs counter \
+         length), $(b,sigma) (BER vs eye-opening jitter), $(b,slip) (cycle-slip measures). \
+         Same-structure requests arriving together are batched so they share one cached \
+         multigrid setup and in-place model rebuilds.";
+      `P
+        "SIGTERM (or end of input in stdio mode) drains every admitted request, answers each, \
+         and exits 0.";
+      `S Manpage.s_examples;
+      `Pre
+        "  \\$ echo '{\"id\":\"r1\",\"kind\":\"analyze\",\"params\":{\"grid\":64}}' | cdr_serve";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "cdr_serve" ~version:"1.0.0" ~doc ~man)
+    Term.(const run $ socket $ queue_bound $ jobs $ default_deadline_ms $ summary)
+
+let () = exit (Cmd.eval cmd)

@@ -58,14 +58,16 @@ let of_convolution cfg ~rho =
   Prob.Pmf.fold pmf ~init:0.0 ~f:(fun acc k p ->
       if abs_float (float_of_int k *. step) > 0.5 then acc +. p else acc)
 
-let analyze ?(solver = `Multigrid) ?init ?cache ?trace ?pool ?smoother model =
+let analyze ?(solver = `Multigrid) ?init ?cache ?trace ?pool ?smoother ?(ctx = Context.default)
+    model =
+  let ctx = Context.override ?init ?cache ?trace ?pool ?smoother ctx in
   let solver =
     match solver with
     | `Multigrid -> `Multigrid
     | `Power -> `Power
     | `Gauss_seidel -> `Gauss_seidel
   in
-  let solution = Model.solve ~solver ?init ?cache ?trace ?pool ?smoother model in
+  let solution = Model.solve ~solver ~ctx model in
   let rho = Model.phase_marginal model ~pi:solution.Markov.Solution.pi in
   let cfg = model.Model.config in
   ( { ber = of_marginal cfg ~rho; phase_density = rho; eye_density = eye_density cfg ~rho },

@@ -39,8 +39,11 @@ val analyze :
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
   ?smoother:Markov.Multigrid.smoother ->
+  ?ctx:Context.t ->
   Model.t ->
   result * Markov.Solution.t
 (** Solve for the stationary distribution and evaluate everything. [?init],
     [?cache], [?trace], [?pool] and [?smoother] are forwarded to the solver
-    (see {!Model.solve}). *)
+    (see {!Model.solve}); [?ctx] carries the same knobs (and the tolerance
+    and cancellation hook) as one {!Context.t}, with explicit arguments
+    overriding matching context fields. *)

@@ -418,14 +418,22 @@ let solver_name = function
   | `Arnoldi -> "arnoldi"
   | `Aggregation -> "aggregation"
 
-let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?init ?cache ?trace ?pool ?(smoother = `Lex) t =
+let solve ?(solver = `Multigrid) ?tol ?init ?cache ?trace ?pool ?smoother ?(ctx = Context.default)
+    t =
+  (* the per-call optional arguments are wrappers over the context: an
+     explicit argument wins, an omitted one falls back to the context field,
+     and the default context reproduces the historical defaults bitwise *)
+  let ctx = Context.override ?tol ?init ?cache ?trace ?pool ?smoother ctx in
+  let { Context.tol; cache; trace; pool; smoother; cancel; _ } = ctx in
   Cdr_obs.Span.with_ ~name:"model.solve" ~attrs:[ ("solver", solver_name solver) ] @@ fun () ->
   Cdr_obs.Metrics.incr "model.solves" ~labels:[ ("solver", solver_name solver) ];
   (* an init of the wrong length (e.g. threaded across a counter sweep whose
      state count moved) is dropped, not an error: warm-starting is an
      optimization, never a constraint *)
   let init =
-    match init with Some v when Array.length v = t.n_states -> Some v | Some _ | None -> None
+    match ctx.Context.init with
+    | Some v when Array.length v = t.n_states -> Some v
+    | Some _ | None -> None
   in
   match solver with
   | `Multigrid ->
@@ -435,10 +443,10 @@ let solve ?(solver = `Multigrid) ?(tol = 1e-12) ?init ?cache ?trace ?pool ?(smoo
             let s =
               Solver_cache.setup cache ~smoother ~hierarchy:(fun () -> hierarchy t) t.chain
             in
-            Markov.Multigrid.solve_with ~tol ?init ?trace ?pool s t.chain
+            Markov.Multigrid.solve_with ~tol ?init ?trace ?pool ?cancel s t.chain
         | None ->
-            Markov.Multigrid.solve ~tol ?init ?trace ?pool ~smoother ~hierarchy:(hierarchy t)
-              t.chain
+            Markov.Multigrid.solve ~tol ?init ?trace ?pool ?cancel ~smoother
+              ~hierarchy:(hierarchy t) t.chain
       in
       solution
   | `Power -> Markov.Power.solve ~tol ?init ?trace ?pool t.chain

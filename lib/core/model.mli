@@ -84,6 +84,7 @@ val solve :
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
   ?smoother:Markov.Multigrid.smoother ->
+  ?ctx:Context.t ->
   t ->
   Markov.Solution.t
 (** Stationary distribution; default [`Multigrid] with the structured
@@ -100,7 +101,14 @@ val solve :
     [`Arnoldi] ignore it. [?smoother] (multigrid only, default [`Lex])
     selects the Gauss-Seidel variant — see {!Markov.Multigrid.smoother} —
     and participates in the [?cache] key. The whole solve runs inside a
-    ["model.solve"] span. *)
+    ["model.solve"] span.
+
+    [?ctx] bundles every one of these knobs (plus a cooperative-cancellation
+    hook polled between multigrid V-cycles) into one {!Context.t}; the
+    per-call arguments are thin wrappers that override the matching context
+    field, and omitting both yields {!Context.default} — the historical
+    behavior, bitwise. A firing [ctx.cancel] aborts a multigrid solve with
+    {!Markov.Multigrid.Cancelled}; the other solvers do not poll it. *)
 
 val solver_name :
   [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ] ->

@@ -10,7 +10,9 @@ type t = {
   trace : Cdr_obs.Trace.t;
 }
 
-let run_model ?(solver = `Multigrid) ?pool ?init ?cache ?smoother model =
+let run_model ?(solver = `Multigrid) ?pool ?init ?cache ?smoother ?(ctx = Context.default) model
+    =
+  let ctx = Context.override ?pool ?init ?cache ?smoother ctx in
   Cdr_obs.Span.with_ ~name:"report.run" @@ fun () ->
   let trace =
     Cdr_obs.Trace.create
@@ -21,9 +23,11 @@ let run_model ?(solver = `Multigrid) ?pool ?init ?cache ?smoother model =
                 | `Arnoldi ]))
       ()
   in
+  (* the report owns the convergence trace it returns, so it overrides any
+     trace the caller's context carries *)
+  let ctx = Context.override ~trace ctx in
   let (result, solution), solve_seconds =
-    Cdr_obs.Span.timed ~name:"report.solve" (fun () ->
-        Ber.analyze ~solver ?init ?cache ~trace ?pool ?smoother model)
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () -> Ber.analyze ~solver ~ctx model)
   in
   (* every solver records its outer-iteration count in the trace; the
      Solution count is the fallback for an instantly-converged (empty) trace *)
@@ -46,7 +50,8 @@ let run_model ?(solver = `Multigrid) ?pool ?init ?cache ?smoother model =
     },
     solution )
 
-let run ?solver ?pool ?smoother cfg = fst (run_model ?solver ?pool ?smoother (Model.build cfg))
+let run ?solver ?pool ?smoother ?ctx cfg =
+  fst (run_model ?solver ?pool ?smoother ?ctx (Model.build cfg))
 
 let header_line t =
   Printf.sprintf "COUNTER: %d  STDnw: %.1e  MAXnr: %.1e  BER: %.1e" t.config.Config.counter_length

@@ -24,13 +24,17 @@ val run :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
   ?pool:Cdr_par.Pool.t ->
   ?smoother:Markov.Multigrid.smoother ->
+  ?ctx:Context.t ->
   Config.t ->
   t
 (** Build, solve, analyze, and time everything. The solve runs with a fresh
     {!Cdr_obs.Trace.t} (returned in [trace]); [iterations] is populated from
     that trace uniformly for all three solver choices, so V-cycles, power
     steps and Gauss-Seidel sweeps are counted the same way. [?pool] and
-    [?smoother] are forwarded to the solver kernels (see {!Model.solve}). *)
+    [?smoother] are forwarded to the solver kernels (see {!Model.solve});
+    [?ctx] carries the same knobs plus tolerance and cancellation as one
+    {!Context.t} (explicit arguments win; the report's own fresh trace
+    always replaces [ctx.trace]). *)
 
 val run_model :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
@@ -38,6 +42,7 @@ val run_model :
   ?init:Linalg.Vec.t ->
   ?cache:Solver_cache.t ->
   ?smoother:Markov.Multigrid.smoother ->
+  ?ctx:Context.t ->
   Model.t ->
   t * Markov.Solution.t
 (** {!run} on an already built model, also returning the full stationary

@@ -16,11 +16,12 @@ type t = {
   mutable entries : Markov.Multigrid.setup list; (* most recently used first *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(max_entries = 8) () =
   if max_entries < 1 then invalid_arg "Solver_cache.create: max_entries must be >= 1";
-  { max_entries; entries = []; hits = 0; misses = 0 }
+  { max_entries; entries = []; hits = 0; misses = 0; evictions = 0 }
 
 let take_first p l =
   let rec go acc = function
@@ -49,9 +50,20 @@ let setup t ?(smoother = `Lex) ~hierarchy chain =
       t.misses <- t.misses + 1;
       Cdr_obs.Metrics.incr "solver_cache.misses";
       let s = Markov.Multigrid.setup ~smoother ~hierarchy:(hierarchy ()) chain in
-      t.entries <- truncate t.max_entries (s :: t.entries);
+      let entries = s :: t.entries in
+      let dropped = List.length entries - t.max_entries in
+      if dropped > 0 then begin
+        t.evictions <- t.evictions + dropped;
+        Cdr_obs.Metrics.add "solver_cache.evictions" dropped
+      end;
+      t.entries <- truncate t.max_entries entries;
+      (* a long-running server watches this gauge for cache pressure: size
+         pinned at max_entries plus a climbing eviction counter means the
+         working set of structures no longer fits *)
+      Cdr_obs.Metrics.set_gauge "solver_cache.size" (float_of_int (List.length t.entries));
       s
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 let length t = List.length t.entries

@@ -7,11 +7,14 @@
     structure and only the numeric {!Markov.Multigrid.solve_with} phase runs
     per point.
 
-    Hit/miss counts are exposed both per cache (for assertions) and through
-    the global [Cdr_obs] metrics registry as the ["solver_cache.hits"] /
-    ["solver_cache.misses"] counters.
+    Hit/miss/eviction counts are exposed both per cache (for assertions) and
+    through the global [Cdr_obs] metrics registry as the
+    ["solver_cache.hits"] / ["solver_cache.misses"] /
+    ["solver_cache.evictions"] counters, with the current entry count in the
+    ["solver_cache.size"] gauge (the gauge reflects the most recently mutated
+    cache — in the analysis service there is exactly one, process-wide). *)
 
-    Setups own mutable workspaces, so a cache must not be shared across
+(** Setups own mutable workspaces, so a cache must not be shared across
     concurrently solving workers: give each sweep worker its own (the warm
     sweep runner threads one per chunk). *)
 
@@ -35,6 +38,9 @@ val setup :
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Setups dropped off the LRU tail because the cache was full. *)
 
 val length : t -> int
 (** Number of cached setups. *)

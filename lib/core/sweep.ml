@@ -1,14 +1,20 @@
 type point = { config : Config.t; report : Report.t }
 
-type strategy = { warm_start : bool; reuse_setup : bool }
+type strategy = Context.strategy = { warm_start : bool; reuse_setup : bool }
 
-let cold = { warm_start = false; reuse_setup = false }
-let warm = { warm_start = true; reuse_setup = true }
+let cold = Context.cold
+let warm = Context.warm
 
-let point ?smoother ~attr_name ~attr_value config solver =
+(* A sweep point's solve is always serial (the point is the parallel unit)
+   and owns its own warm-start state, so only the scalar knobs of the
+   caller's context — smoother, tolerance, cancellation — flow into it. *)
+let point_ctx ctx =
+  { ctx with Context.pool = None; trace = None; init = None; cache = None }
+
+let point ~ctx ~attr_name ~attr_value config solver =
   Cdr_obs.Span.with_ ~name:"sweep.point" ~attrs:[ (attr_name, attr_value) ] @@ fun () ->
   Cdr_obs.Metrics.incr "sweep.points";
-  { config; report = Report.run ?solver ?smoother config }
+  { config; report = Report.run ?solver ~ctx:(point_ctx ctx) config }
 
 (* One Report.run per pool slot: the sweep point is the parallel unit, so the
    solver inside each point runs serially (handing the pool down as well
@@ -55,8 +61,9 @@ let predict ~v ~v1 ~pi1 ~v2 ~pi2 =
    iterate, and (c) a structure-keyed [Solver_cache] of multigrid setups.
    Under [?pool] the chunks run in parallel and warm-starting happens within
    each worker's chunk; results return in the caller's original order. *)
-let map_points_continuation ?solver ?smoother ?pool ~strategy ~compare ~attr_name ~attr_of
-    ~param_of ~config_of values =
+let map_points_continuation ?solver ~ctx ~compare ~attr_name ~attr_of ~param_of ~config_of
+    values =
+  let strategy = ctx.Context.strategy and pool = ctx.Context.pool in
   let indexed = List.mapi (fun i v -> (i, v)) values in
   let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) indexed in
   let jobs = match pool with None -> 1 | Some p -> Cdr_par.Pool.jobs p in
@@ -83,7 +90,12 @@ let map_points_continuation ?solver ?smoother ?pool ~strategy ~compare ~attr_nam
             | Some (_, pi1, _), None -> Some pi1
             | None, _ -> None
         in
-        let report, solution = Report.run_model ?solver ?init ?cache ?smoother model in
+        (* the chunk owns its warm-start state: the per-point init and the
+           per-chunk setup cache replace whatever the caller's context holds
+           (a cache shared across chunks would race — setups own mutable
+           workspaces) *)
+        let pctx = { (point_ctx ctx) with Context.init; cache } in
+        let report, solution = Report.run_model ?solver ~ctx:pctx model in
         (match !prev with Some (_, pi1, v1) -> prev2 := Some (pi1, v1) | None -> ());
         prev := Some (model, solution.Markov.Solution.pi, param_of v);
         (idx, { config; report }))
@@ -99,29 +111,33 @@ let map_points_continuation ?solver ?smoother ?pool ~strategy ~compare ~attr_nam
   |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
   |> List.map snd
 
-let counter_lengths ?solver ?smoother ?pool ?(strategy = cold) base lengths =
+let counter_lengths ?solver ?smoother ?pool ?strategy ?(ctx = Context.default) base lengths =
+  let ctx = Context.override ?smoother ?pool ?strategy ctx in
+  let strategy = ctx.Context.strategy in
   if (not strategy.warm_start) && not strategy.reuse_setup then
-    map_points ?pool
+    map_points ?pool:ctx.Context.pool
       (fun k ->
         let config = Config.create_exn { base with Config.counter_length = k } in
-        point ?smoother ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
+        point ~ctx ~attr_name:"counter" ~attr_value:(string_of_int k) config solver)
       lengths
   else
-    map_points_continuation ?solver ?smoother ?pool ~strategy ~compare:Stdlib.compare
-      ~attr_name:"counter" ~attr_of:string_of_int ~param_of:float_of_int
+    map_points_continuation ?solver ~ctx ~compare:Stdlib.compare ~attr_name:"counter"
+      ~attr_of:string_of_int ~param_of:float_of_int
       ~config_of:(fun k -> { base with Config.counter_length = k })
       lengths
 
-let sigma_w_values ?solver ?smoother ?pool ?(strategy = cold) base sigmas =
+let sigma_w_values ?solver ?smoother ?pool ?strategy ?(ctx = Context.default) base sigmas =
+  let ctx = Context.override ?smoother ?pool ?strategy ctx in
+  let strategy = ctx.Context.strategy in
   if (not strategy.warm_start) && not strategy.reuse_setup then
-    map_points ?pool
+    map_points ?pool:ctx.Context.pool
       (fun sigma ->
         let config = Config.create_exn { base with Config.sigma_w = sigma } in
-        point ?smoother ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
+        point ~ctx ~attr_name:"sigma_w" ~attr_value:(string_of_float sigma) config solver)
       sigmas
   else
-    map_points_continuation ?solver ?smoother ?pool ~strategy ~compare:Stdlib.compare
-      ~attr_name:"sigma_w" ~attr_of:string_of_float ~param_of:Fun.id
+    map_points_continuation ?solver ~ctx ~compare:Stdlib.compare ~attr_name:"sigma_w"
+      ~attr_of:string_of_float ~param_of:Fun.id
       ~config_of:(fun sigma -> { base with Config.sigma_w = sigma })
       sigmas
 
@@ -135,10 +151,10 @@ let optimal_of_points = function
       in
       (best.config.Config.counter_length, best.report.Report.ber)
 
-let optimal_counter ?solver ?smoother ?pool ?strategy base lengths =
+let optimal_counter ?solver ?smoother ?pool ?strategy ?ctx base lengths =
   match lengths with
   | [] -> invalid_arg "Sweep.optimal_counter: no candidate lengths"
-  | _ -> optimal_of_points (counter_lengths ?solver ?smoother ?pool ?strategy base lengths)
+  | _ -> optimal_of_points (counter_lengths ?solver ?smoother ?pool ?strategy ?ctx base lengths)
 
 let pp_points ppf points =
   Format.fprintf ppf "@[<v>%-8s %-8s %-12s %-10s %-8s %s@,"

@@ -24,13 +24,16 @@
 
 type point = { config : Config.t; report : Report.t }
 
-type strategy = {
+type strategy = Context.strategy = {
   warm_start : bool;
       (** start each solve from a secant extrapolation of the previous
           points' stationary vectors *)
   reuse_setup : bool;
       (** rebuild models in place and cache multigrid setups per structure *)
 }
+(** Re-export of {!Context.strategy}, so a {!Context.t} can carry the sweep
+    mode and existing [{ Sweep.warm_start; reuse_setup }] literals keep
+    working. *)
 
 val cold : strategy
 (** Independent cold solves — the default, bit-identical for any job count. *)
@@ -43,16 +46,24 @@ val counter_lengths :
   ?smoother:Markov.Multigrid.smoother ->
   ?pool:Cdr_par.Pool.t ->
   ?strategy:strategy ->
+  ?ctx:Context.t ->
   Config.t ->
   int list ->
   point list
-(** BER for each counter length, all other parameters fixed (Figure 5). *)
+(** BER for each counter length, all other parameters fixed (Figure 5).
+
+    [?ctx] supplies the pool, strategy, smoother, tolerance and cancellation
+    hook as one {!Context.t} (explicit arguments win). A context's [init],
+    [cache] and [trace] do {e not} flow into the points: every point owns its
+    warm-start state (the continuation computes per-point inits and one setup
+    cache per worker chunk) and its own convergence trace. *)
 
 val sigma_w_values :
   ?solver:[ `Multigrid | `Power | `Gauss_seidel ] ->
   ?smoother:Markov.Multigrid.smoother ->
   ?pool:Cdr_par.Pool.t ->
   ?strategy:strategy ->
+  ?ctx:Context.t ->
   Config.t ->
   float list ->
   point list
@@ -72,6 +83,7 @@ val optimal_counter :
   ?smoother:Markov.Multigrid.smoother ->
   ?pool:Cdr_par.Pool.t ->
   ?strategy:strategy ->
+  ?ctx:Context.t ->
   Config.t ->
   int list ->
   int * float

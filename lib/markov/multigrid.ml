@@ -2,6 +2,8 @@ type stats = { cycles : int; levels : int; coarsest_size : int; smoothing_sweeps
 
 type smoother = [ `Lex | `Colored ]
 
+exception Cancelled
+
 (* Fixed slot grid for the pooled V-cycle kernels: a pure function of the
    problem size, never of the job count, so the slot schedule (and therefore
    every float-accumulation order) is identical with and without a pool. *)
@@ -455,7 +457,7 @@ let matches s chain =
   && (m.Sparse.Csr.col_idx == s.ref_col_idx || m.Sparse.Csr.col_idx = s.ref_col_idx)
 
 let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init
-    ?trace ?pool s chain =
+    ?trace ?pool ?cancel s chain =
   if not (matches s chain) then
     invalid_arg "Multigrid.solve_with: chain sparsity pattern does not match the setup";
   let n = s.setup_n in
@@ -533,7 +535,12 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
   | None -> Array.fill x0 0 n (1.0 /. float_of_int n));
   let cycles = ref 0 in
   let continue_ = ref (n > 0) in
+  (* the cooperative-cancellation point: between V-cycles only, so a firing
+     hook never interrupts a half-updated workspace mid-cycle (the next
+     [solve_with] against this setup overwrites every workspace anyway) *)
+  let cancelled () = match cancel with Some f -> f () | None -> false in
   while !continue_ && !cycles < max_cycles do
+    if cancelled () then raise Cancelled;
     cycle 0;
     incr cycles;
     let residual = Chain.residual ?pool chain x0 in
@@ -551,7 +558,7 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
       smoothing_sweeps = !smoothing_sweeps;
     } )
 
-let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ?smoother ~hierarchy chain
-    =
-  solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool
+let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ?cancel ?smoother
+    ~hierarchy chain =
+  solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ?cancel
     (setup ?smoother ~hierarchy chain) chain

@@ -21,6 +21,12 @@ type stats = {
   smoothing_sweeps : int; (* total Gauss-Seidel sweeps across all levels *)
 }
 
+exception Cancelled
+(** Raised by {!solve} / {!solve_with} when the [?cancel] hook fires. The
+    check runs between V-cycles only (never inside one), so the setup's
+    workspaces are not mid-update when the exception propagates; the setup
+    stays valid for the next solve. *)
+
 type smoother = [ `Lex | `Colored ]
 (** The Gauss-Seidel update order inside V-cycles.
 
@@ -79,6 +85,7 @@ val solve_with :
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
+  ?cancel:(unit -> bool) ->
   setup ->
   Chain.t ->
   Solution.t * stats
@@ -86,7 +93,13 @@ val solve_with :
     (the numeric phase only: one value blit, no pattern, transpose or level
     construction). Raises [Invalid_argument] when [matches setup chain] is
     false. Numerically identical to {!solve} on the same chain — reusing a
-    setup across refills changes no result bits. *)
+    setup across refills changes no result bits.
+
+    [?cancel] is polled before every V-cycle (including the first, so an
+    already-expired deadline costs no cycle at all); when it returns [true]
+    the solve raises {!Cancelled}. This is the cooperative-cancellation
+    device of the serving layer: a deadline check costs one closure call per
+    cycle and can never observe a half-updated workspace. *)
 
 val solve :
   ?tol:float ->
@@ -96,6 +109,7 @@ val solve :
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
+  ?cancel:(unit -> bool) ->
   ?smoother:smoother ->
   hierarchy:Partition.t list ->
   Chain.t ->

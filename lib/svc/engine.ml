@@ -1,0 +1,191 @@
+type t = {
+  pool : Cdr_par.Pool.t option;
+  cache : Cdr.Solver_cache.t;
+  mutable last_model : (string * Cdr.Model.t) option;
+}
+
+let create ?pool ?cache () =
+  let cache = match cache with Some c -> c | None -> Cdr.Solver_cache.create () in
+  { pool; cache; last_model = None }
+
+let cache t = t.cache
+
+type job = {
+  request : Protocol.request;
+  deadline : float option;
+  reply : Cdr_obs.Jsonl.t -> unit;
+}
+
+let get_model t params config =
+  let key = Params.model_key params in
+  let model =
+    match t.last_model with
+    | Some (k, m) when k = key -> fst (Cdr.Model.rebuild ?pool:t.pool m config)
+    | _ -> Cdr.Model.build ?pool:t.pool config
+  in
+  t.last_model <- Some (key, model);
+  model
+
+(* single solves retry once on non-convergence: 1000x looser tolerance,
+   warm-started from the failed iterate, and the response is flagged *)
+let with_degraded_retry ctx solve =
+  let first = solve ctx in
+  if (snd first).Markov.Solution.converged then (first, false)
+  else begin
+    Cdr_obs.Metrics.incr "serve.degraded_retries";
+    let ctx =
+      Cdr.Context.override
+        ~tol:(ctx.Cdr.Context.tol *. 1e3)
+        ~init:(snd first).Markov.Solution.pi ctx
+    in
+    (solve ctx, true)
+  end
+
+let num f = Cdr_obs.Jsonl.Num f
+let int_num i = Cdr_obs.Jsonl.Num (float_of_int i)
+
+let point_json ~key ~value (pt : Cdr.Sweep.point) =
+  Cdr_obs.Jsonl.Obj
+    [
+      (key, value);
+      ("ber", num pt.Cdr.Sweep.report.Cdr.Report.ber);
+      ("iterations", int_num pt.Cdr.Sweep.report.Cdr.Report.iterations);
+    ]
+
+let full_solver p =
+  (p.Params.solver
+    :> [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ])
+
+let run_kind t ~ctx req config =
+  let p = req.Protocol.params in
+  match req.Protocol.kind with
+  | Protocol.Analyze ->
+      let model = get_model t p config in
+      let (report, sol), degraded =
+        with_degraded_retry ctx (fun ctx ->
+            Cdr.Report.run_model ~solver:p.Params.solver ~ctx model)
+      in
+      let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:sol.Markov.Solution.pi in
+      ( Cdr_obs.Jsonl.Obj
+          [
+            ("ber", num report.Cdr.Report.ber);
+            ("size", int_num report.Cdr.Report.size);
+            ("iterations", int_num report.Cdr.Report.iterations);
+            ("solve_seconds", num report.Cdr.Report.solve_seconds);
+            ("mean_bits_between_slips", num mtbf);
+          ],
+        degraded )
+  | Protocol.Slip ->
+      let model = get_model t p config in
+      let ((_, sol), degraded) =
+        with_degraded_retry ctx (fun ctx ->
+            ((), Cdr.Model.solve ~solver:(full_solver p) ~ctx model))
+      in
+      let pi = sol.Markov.Solution.pi in
+      ( Cdr_obs.Jsonl.Obj
+          [
+            ("slip_rate", num (Cdr.Cycle_slip.rate model ~pi));
+            ("mean_bits_between_slips", num (Cdr.Cycle_slip.mean_time_between model ~pi));
+            ("mean_bits_to_first_slip", num (Cdr.Cycle_slip.mean_first_slip_time model));
+          ],
+        degraded )
+  | Protocol.Sweep lengths ->
+      let ctx = Cdr.Context.override ~strategy:Cdr.Context.warm ctx in
+      let points = Cdr.Sweep.counter_lengths ~solver:p.Params.solver ~ctx config lengths in
+      let best_k, best_ber = Cdr.Sweep.optimal_of_points points in
+      ( Cdr_obs.Jsonl.Obj
+          [
+            ( "points",
+              List
+                (List.map
+                   (fun pt ->
+                     point_json ~key:"counter"
+                       ~value:(int_num pt.Cdr.Sweep.config.Cdr.Config.counter_length)
+                       pt)
+                   points) );
+            ("optimal", Obj [ ("counter", int_num best_k); ("ber", num best_ber) ]);
+          ],
+        false )
+  | Protocol.Sigma values ->
+      let ctx = Cdr.Context.override ~strategy:Cdr.Context.warm ctx in
+      let points = Cdr.Sweep.sigma_w_values ~solver:p.Params.solver ~ctx config values in
+      ( Cdr_obs.Jsonl.Obj
+          [
+            ( "points",
+              List
+                (List.map
+                   (fun pt ->
+                     point_json ~key:"sigma_w" ~value:(num pt.Cdr.Sweep.config.Cdr.Config.sigma_w)
+                       pt)
+                   points) );
+          ],
+        false )
+
+let handle t job =
+  let req = job.request in
+  let kname = Protocol.kind_name req.Protocol.kind in
+  let started = Cdr_obs.Clock.now () in
+  let hits0 = Cdr.Solver_cache.hits t.cache and misses0 = Cdr.Solver_cache.misses t.cache in
+  let finish status response =
+    Cdr_obs.Metrics.observe
+      ~labels:[ ("kind", kname) ]
+      "serve.latency_seconds"
+      (Cdr_obs.Clock.now () -. started);
+    Cdr_obs.Metrics.incr "serve.requests" ~labels:[ ("kind", kname); ("status", status) ];
+    job.reply response
+  in
+  let fail code message =
+    finish (Protocol.code_string code)
+      (Protocol.error_response ~id:req.Protocol.id ~code ~message ())
+  in
+  Cdr_obs.Span.with_ ~name:"serve.request"
+    ~attrs:[ ("id", req.Protocol.id); ("kind", kname) ]
+    (fun () ->
+      (* hold_ms simulates a slow request (load tests); it burns deadline *)
+      (match req.Protocol.hold_ms with Some ms -> Unix.sleepf (ms /. 1000.) | None -> ());
+      let expired () =
+        match job.deadline with Some d -> Cdr_obs.Clock.now () >= d | None -> false
+      in
+      if expired () then fail `Timeout "deadline exceeded before solve"
+      else
+        match Params.to_config req.Protocol.params with
+        | Error msg -> fail `Bad_request msg
+        | Ok config -> (
+            let cancel = Option.map (fun d () -> Cdr_obs.Clock.now () >= d) job.deadline in
+            let ctx =
+              Cdr.Context.make ?pool:t.pool ~cache:t.cache
+                ~smoother:req.Protocol.params.Params.smoother ?cancel ()
+            in
+            match run_kind t ~ctx req config with
+            | payload, degraded ->
+                finish "ok"
+                  (Protocol.ok_response ~id:req.Protocol.id ~kind:req.Protocol.kind ~degraded
+                     ~cache_hits:(Cdr.Solver_cache.hits t.cache - hits0)
+                     ~cache_misses:(Cdr.Solver_cache.misses t.cache - misses0)
+                     ~elapsed_ms:((Cdr_obs.Clock.now () -. started) *. 1e3)
+                     payload)
+            | exception Markov.Multigrid.Cancelled ->
+                fail `Timeout "deadline exceeded during solve"
+            | exception exn -> fail `Internal (Printexc.to_string exn)))
+
+let process t jobs =
+  (* group by structure key so same-structure requests run back to back and
+     amortize the shared setup cache / model refill; first-arrival order is
+     kept between groups and within each group *)
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun j ->
+      let key = Params.structure_key j.request.Protocol.params in
+      match Hashtbl.find_opt tbl key with
+      | Some group -> group := j :: !group
+      | None ->
+          Hashtbl.add tbl key (ref [ j ]);
+          order := key :: !order)
+    jobs;
+  List.iter
+    (fun key ->
+      let group = List.rev !(Hashtbl.find tbl key) in
+      Cdr_obs.Metrics.observe "serve.batch_size" (float_of_int (List.length group));
+      List.iter (handle t) group)
+    (List.rev !order)

@@ -1,0 +1,44 @@
+(** Request execution: one engine owns the process-wide solver state.
+
+    The engine is single-consumer by design — multigrid setups own mutable
+    workspaces, so requests execute one at a time and parallelism lives
+    {e inside} a request (the domain pool is handed to the solver kernels
+    via a {!Cdr.Context.t}). What {e is} shared across requests:
+
+    - one {!Cdr.Solver_cache.t}, so same-structure requests reuse the
+      symbolic multigrid setup;
+    - the most recent model, so a request whose {!Params.model_key} matches
+      goes through {!Cdr.Model.rebuild}'s in-place refill instead of a full
+      build.
+
+    {!process} exploits both by grouping a batch of jobs by
+    {!Params.structure_key} (first-arrival order preserved between groups
+    and within a group), so interleaved request streams still amortize. *)
+
+type t
+
+val create : ?pool:Cdr_par.Pool.t -> ?cache:Cdr.Solver_cache.t -> unit -> t
+(** [?cache] defaults to a fresh {!Cdr.Solver_cache.create} (exposed so
+    tests can assert on hit counts). *)
+
+val cache : t -> Cdr.Solver_cache.t
+
+type job = {
+  request : Protocol.request;
+  deadline : float option;
+      (** absolute {!Cdr_obs.Clock.now} time; queue wait counts against it *)
+  reply : Cdr_obs.Jsonl.t -> unit;  (** called exactly once per job *)
+}
+
+val handle : t -> job -> unit
+(** Execute one job and reply. Never raises: config validation errors
+    become ["bad_request"], an expired deadline or a solve aborted by the
+    cancellation hook becomes ["timeout"], anything else ["internal"]. A
+    single-solve request that fails to converge is retried once with a
+    1000x relaxed tolerance, warm-started from the failed iterate, and
+    flagged ["degraded"] on success. Emits the ["serve.request"] span and
+    the ["serve.latency_seconds"]/["serve.requests"] metrics. *)
+
+val process : t -> job list -> unit
+(** {!handle} a batch, grouped by {!Params.structure_key}; each group's
+    size lands in the ["serve.batch_size"] histogram. *)

@@ -1,0 +1,147 @@
+type solver = [ `Multigrid | `Power | `Gauss_seidel ]
+
+type t = {
+  grid : int;
+  phases : int;
+  counter : int;
+  sigma_w : float;
+  drift_mean : float;
+  drift_max : int;
+  max_run : int;
+  p_transition : float;
+  solver : solver;
+  smoother : Markov.Multigrid.smoother;
+}
+
+(* the grid/phases/counter/sigma/max_run defaults are Config.default's (the
+   paper's running example); drift and transition probability match what the
+   cdr_analyze flags have always defaulted to *)
+let default =
+  {
+    grid = Cdr.Config.default.Cdr.Config.grid_points;
+    phases = Cdr.Config.default.Cdr.Config.n_phases;
+    counter = Cdr.Config.default.Cdr.Config.counter_length;
+    sigma_w = Cdr.Config.default.Cdr.Config.sigma_w;
+    drift_mean = 0.1;
+    drift_max = 2;
+    max_run = Cdr.Config.default.Cdr.Config.max_run;
+    p_transition = 0.5;
+    solver = `Multigrid;
+    smoother = `Lex;
+  }
+
+let to_config p =
+  let cfg =
+    {
+      Cdr.Config.default with
+      Cdr.Config.grid_points = p.grid;
+      n_phases = p.phases;
+      counter_length = p.counter;
+      sigma_w = p.sigma_w;
+      nr = Prob.Jitter.drift ~max_steps:p.drift_max ~mean_steps:p.drift_mean ();
+      max_run = p.max_run;
+      p01 = p.p_transition;
+      p10 = p.p_transition;
+    }
+  in
+  match Cdr.Config.validate cfg with Ok () -> Ok cfg | Error msg -> Error msg
+
+let solver_of_string = function
+  | "multigrid" -> Some `Multigrid
+  | "power" -> Some `Power
+  | "gauss-seidel" -> Some `Gauss_seidel
+  | _ -> None
+
+let string_of_solver = function
+  | `Multigrid -> "multigrid"
+  | `Power -> "power"
+  | `Gauss_seidel -> "gauss-seidel"
+
+let smoother_of_string = function "lex" -> Some `Lex | "colored" -> Some `Colored | _ -> None
+
+let string_of_smoother = function `Lex -> "lex" | `Colored -> "colored"
+
+(* ---------- JSON codec ---------- *)
+
+let int_field name v =
+  match v with
+  | Cdr_obs.Jsonl.Num f when Float.is_integer f && Float.abs f < 1e9 -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let float_field name v =
+  match v with
+  | Cdr_obs.Jsonl.Num f -> Ok f
+  | _ -> Error (Printf.sprintf "field %S must be a number" name)
+
+let enum_field name of_string v =
+  match v with
+  | Cdr_obs.Jsonl.Str s -> (
+      match of_string s with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S: unknown value %S" name s))
+  | _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let of_json ?(defaults = default) json =
+  match json with
+  | Cdr_obs.Jsonl.Null -> Ok defaults
+  | Cdr_obs.Jsonl.Obj fields ->
+      let ( let* ) = Result.bind in
+      List.fold_left
+        (fun acc (key, v) ->
+          let* p = acc in
+          match key with
+          | "grid" ->
+              let* x = int_field key v in
+              Ok { p with grid = x }
+          | "phases" ->
+              let* x = int_field key v in
+              Ok { p with phases = x }
+          | "counter" ->
+              let* x = int_field key v in
+              Ok { p with counter = x }
+          | "sigma_w" ->
+              let* x = float_field key v in
+              Ok { p with sigma_w = x }
+          | "drift_mean" ->
+              let* x = float_field key v in
+              Ok { p with drift_mean = x }
+          | "drift_max" ->
+              let* x = int_field key v in
+              Ok { p with drift_max = x }
+          | "max_run" ->
+              let* x = int_field key v in
+              Ok { p with max_run = x }
+          | "p_transition" ->
+              let* x = float_field key v in
+              Ok { p with p_transition = x }
+          | "solver" ->
+              let* x = enum_field key solver_of_string v in
+              Ok { p with solver = x }
+          | "smoother" ->
+              let* x = enum_field key smoother_of_string v in
+              Ok { p with smoother = x }
+          | other -> Error (Printf.sprintf "unknown parameter field %S" other))
+        (Ok defaults) fields
+  | _ -> Error "\"params\" must be a JSON object"
+
+let to_json p =
+  Cdr_obs.Jsonl.Obj
+    [
+      ("grid", Num (float_of_int p.grid));
+      ("phases", Num (float_of_int p.phases));
+      ("counter", Num (float_of_int p.counter));
+      ("sigma_w", Num p.sigma_w);
+      ("drift_mean", Num p.drift_mean);
+      ("drift_max", Num (float_of_int p.drift_max));
+      ("max_run", Num (float_of_int p.max_run));
+      ("p_transition", Num p.p_transition);
+      ("solver", Str (string_of_solver p.solver));
+      ("smoother", Str (string_of_smoother p.smoother));
+    ]
+
+let model_key p =
+  Printf.sprintf "g%d.ph%d.k%d.dr%d.run%d" p.grid p.phases p.counter p.drift_max p.max_run
+
+let structure_key p =
+  Printf.sprintf "%s.%s.%s" (model_key p) (string_of_solver p.solver)
+    (string_of_smoother p.smoother)

@@ -1,0 +1,63 @@
+(** The one request/parameter schema every front end consumes.
+
+    Before this module, the analysis parameters — grid size, counter length,
+    noise levels, solver and smoother choice — existed as three hand-rolled
+    copies of default handling inside the [cdr_analyze] subcommands, and the
+    serving layer would have added a fourth. This module is the single
+    definition: the field set, the defaults, the [Config.t] conversion, and
+    the JSON codec the JSONL protocol uses. [cdr_analyze] builds a [t] from
+    its command-line flags; [cdr_serve] builds one from a request's
+    ["params"] object; both then call {!to_config}. *)
+
+type solver = [ `Multigrid | `Power | `Gauss_seidel ]
+
+type t = {
+  grid : int;  (** phase-error grid bins over [[-1/2, 1/2)] *)
+  phases : int;  (** VCO clock phases (selector step [G = 1/phases] UI) *)
+  counter : int;  (** up/down counter overflow length [K] *)
+  sigma_w : float;  (** std of the white Gaussian eye-opening jitter, UI *)
+  drift_mean : float;  (** mean of the [n_r] drift jitter, grid bins/bit *)
+  drift_max : int;  (** support bound of the [n_r] drift jitter, grid bins *)
+  max_run : int;  (** longest run of identical data bits *)
+  p_transition : float;  (** per-bit data transition probability *)
+  solver : solver;
+  smoother : Markov.Multigrid.smoother;
+}
+
+val default : t
+(** The paper's running example plus the historical CLI defaults
+    (multigrid, lex smoother, the SONET-flavoured drift of the examples). *)
+
+val to_config : t -> (Cdr.Config.t, string) result
+(** Validated {!Cdr.Config.t} (the drift pmf is built from
+    [drift_mean]/[drift_max]); [Error] carries the validation message. *)
+
+val solver_of_string : string -> solver option
+val string_of_solver : solver -> string
+
+val smoother_of_string : string -> Markov.Multigrid.smoother option
+val string_of_smoother : Markov.Multigrid.smoother -> string
+
+val of_json : ?defaults:t -> Cdr_obs.Jsonl.t -> (t, string) result
+(** Decode a ["params"] object: every field optional (missing fields come
+    from [defaults], default {!default}), [Null] meaning "all defaults".
+    Rejects unknown fields, wrong-typed values and non-objects with a
+    descriptive [Error] — a service must fail loudly on a typo'd field name,
+    not silently analyze the default circuit. *)
+
+val to_json : t -> Cdr_obs.Jsonl.t
+(** Full object with every field populated ([of_json] round-trips it). *)
+
+val structure_key : t -> string
+(** Batching key: equal for two parameter sets exactly when their chains
+    share state space and solver machinery — the state-space fields ([grid],
+    [phases], [counter], [drift_max], [max_run]) plus [solver] and
+    [smoother] (a multigrid setup is keyed on the smoother too). The noise
+    fields ([sigma_w], [drift_mean], [p_transition]) are deliberately
+    excluded: those are the deltas {!Cdr.Model.rebuild} turns into in-place
+    refills. *)
+
+val model_key : t -> string
+(** {!structure_key} without the solver/smoother suffix: equal exactly when
+    {!Cdr.Model.rebuild} can reuse the state enumeration and sparsity
+    pattern, whatever solver runs on top. *)

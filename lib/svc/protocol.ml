@@ -1,0 +1,152 @@
+type kind = Analyze | Sweep of int list | Sigma of float list | Slip
+
+type request = {
+  id : string;
+  kind : kind;
+  params : Params.t;
+  deadline_ms : float option;
+  hold_ms : float option;
+}
+
+type error_code = [ `Bad_request | `Overloaded | `Timeout | `Internal ]
+
+let code_string = function
+  | `Bad_request -> "bad_request"
+  | `Overloaded -> "overloaded"
+  | `Timeout -> "timeout"
+  | `Internal -> "internal"
+
+let kind_name = function
+  | Analyze -> "analyze"
+  | Sweep _ -> "sweep"
+  | Sigma _ -> "sigma"
+  | Slip -> "slip"
+
+(* historical defaults of the cdr_analyze sweep/sigma subcommands *)
+let default_lengths = [ 2; 4; 8; 16; 32 ]
+let default_sigmas = [ 0.04; 0.05; 0.0625; 0.08; 0.1 ]
+
+let allowed_keys = [ "id"; "kind"; "params"; "lengths"; "values"; "deadline_ms"; "hold_ms" ]
+
+let int_list name v =
+  match v with
+  | Cdr_obs.Jsonl.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Cdr_obs.Jsonl.Num f :: rest when Float.is_integer f && Float.abs f < 1e9 ->
+            go (int_of_float f :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S must be a list of integers" name)
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "field %S must be a list of integers" name)
+
+let float_list name v =
+  match v with
+  | Cdr_obs.Jsonl.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Cdr_obs.Jsonl.Num f :: rest -> go (f :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S must be a list of numbers" name)
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "field %S must be a list of numbers" name)
+
+let pos_float name v =
+  match v with
+  | Cdr_obs.Jsonl.Num f when f > 0. -> Ok f
+  | _ -> Error (Printf.sprintf "field %S must be a positive number" name)
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let parse_with_id ~id fields =
+  let fail msg = Error (Some id, msg) in
+  let lift = function Ok x -> Ok x | Error msg -> fail msg in
+  let find k = List.assoc_opt k fields in
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed_keys)) fields with
+  | Some (k, _) -> fail (Printf.sprintf "unknown request field %S" k)
+  | None -> (
+      let* params =
+        lift (Params.of_json (Option.value (find "params") ~default:Cdr_obs.Jsonl.Null))
+      in
+      let opt_field key =
+        match find key with
+        | None -> Ok None
+        | Some v ->
+            let* f = lift (pos_float key v) in
+            Ok (Some f)
+      in
+      let* deadline_ms = opt_field "deadline_ms" in
+      let* hold_ms = opt_field "hold_ms" in
+      let reject_extra key kind_s =
+        match find key with
+        | Some _ -> fail (Printf.sprintf "field %S is only valid for %S requests" key kind_s)
+        | None -> Ok ()
+      in
+      match find "kind" with
+      | Some (Cdr_obs.Jsonl.Str kind_s) ->
+          let* kind =
+            match kind_s with
+            | "analyze" | "slip" ->
+                let* () = reject_extra "lengths" "sweep" in
+                let* () = reject_extra "values" "sigma" in
+                Ok (if kind_s = "analyze" then Analyze else Slip)
+            | "sweep" -> (
+                let* () = reject_extra "values" "sigma" in
+                match find "lengths" with
+                | None -> Ok (Sweep default_lengths)
+                | Some v ->
+                    let* ls = lift (int_list "lengths" v) in
+                    if ls = [] then fail "field \"lengths\" must not be empty"
+                    else Ok (Sweep ls))
+            | "sigma" -> (
+                let* () = reject_extra "lengths" "sweep" in
+                match find "values" with
+                | None -> Ok (Sigma default_sigmas)
+                | Some v ->
+                    let* vs = lift (float_list "values" v) in
+                    if vs = [] then fail "field \"values\" must not be empty"
+                    else Ok (Sigma vs))
+            | other -> fail (Printf.sprintf "unknown request kind %S" other)
+          in
+          Ok { id; kind; params; deadline_ms; hold_ms }
+      | Some _ -> fail "field \"kind\" must be a string"
+      | None -> fail "missing request field \"kind\"")
+
+let parse_request line =
+  match Cdr_obs.Jsonl.of_string line with
+  | exception Failure msg -> Error (None, Printf.sprintf "malformed JSON: %s" msg)
+  | Cdr_obs.Jsonl.Obj fields -> (
+      (* pull the id out first so every later rejection can carry it *)
+      match List.assoc_opt "id" fields with
+      | Some (Cdr_obs.Jsonl.Str id) when id <> "" -> parse_with_id ~id fields
+      | Some _ -> Error (None, "field \"id\" must be a non-empty string")
+      | None -> Error (None, "missing request field \"id\""))
+  | _ -> Error (None, "request must be a JSON object")
+
+let ok_response ~id ~kind ~degraded ~cache_hits ~cache_misses ~elapsed_ms result =
+  Cdr_obs.Jsonl.Obj
+    [
+      ("id", Str id);
+      ("ok", Bool true);
+      ("kind", Str (kind_name kind));
+      ("degraded", Bool degraded);
+      ( "cache",
+        Obj
+          [
+            ("hits", Num (float_of_int cache_hits));
+            ("misses", Num (float_of_int cache_misses));
+          ] );
+      ("elapsed_ms", Num elapsed_ms);
+      ("result", result);
+    ]
+
+let error_response ?id ~code ~message () =
+  let base =
+    [
+      ("ok", Cdr_obs.Jsonl.Bool false);
+      ("error", Cdr_obs.Jsonl.Obj [ ("code", Str (code_string code)); ("message", Str message) ]);
+    ]
+  in
+  match id with
+  | Some id -> Cdr_obs.Jsonl.Obj (("id", Str id) :: base)
+  | None -> Cdr_obs.Jsonl.Obj base

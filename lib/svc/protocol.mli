@@ -1,0 +1,85 @@
+(** The JSON-lines request/response protocol of [cdr_serve].
+
+    One request per line, one response object per request. Requests:
+
+    {v
+    {"id":"r1","kind":"analyze","params":{"grid":128,"sigma_w":0.05}}
+    {"id":"r2","kind":"sweep","lengths":[2,4,8],"params":{...}}
+    {"id":"r3","kind":"sigma","values":[0.04,0.05,0.0625],"params":{...}}
+    {"id":"r4","kind":"slip","params":{...}}
+    v}
+
+    Optional request fields: ["deadline_ms"] (relative time budget; when it
+    expires the request is answered with a ["timeout"] error and the server
+    keeps serving) and ["hold_ms"] (an artificial pre-solve delay — the
+    fault-injection knob the load tests use to fill the admission queue
+    deterministically). Unknown top-level or parameter fields are rejected
+    with a ["bad_request"] error: a service must not silently ignore a
+    typo'd field.
+
+    Responses (single line each; [id] echoes the request):
+
+    {v
+    {"id":"r1","ok":true,"kind":"analyze","degraded":false,
+     "cache":{"hits":1,"misses":0},"elapsed_ms":12.3,"result":{...}}
+    {"id":"r9","ok":false,"error":{"code":"overloaded","message":"..."}}
+    v}
+
+    Error codes: ["bad_request"], ["overloaded"], ["timeout"],
+    ["internal"]. Responses are emitted in completion order, which for
+    batched execution can differ from arrival order — clients correlate by
+    [id]. *)
+
+type kind =
+  | Analyze  (** stationary density, BER, mean time between cycle slips *)
+  | Sweep of int list  (** BER vs counter length (the paper's Figure 5) *)
+  | Sigma of float list  (** BER vs eye-opening jitter (Figure 4's axis) *)
+  | Slip  (** cycle-slip rate and first-passage times *)
+
+type request = {
+  id : string;
+  kind : kind;
+  params : Params.t;
+  deadline_ms : float option;  (** relative budget, from arrival *)
+  hold_ms : float option;  (** artificial pre-solve delay (load tests) *)
+}
+
+type error_code = [ `Bad_request | `Overloaded | `Timeout | `Internal ]
+
+val code_string : error_code -> string
+
+val default_lengths : int list
+(** Counter lengths a ["sweep"] request without ["lengths"] gets — also the
+    historical default of the [cdr_analyze sweep] subcommand, which now
+    shares it. *)
+
+val default_sigmas : float list
+(** Jitter levels a ["sigma"] request without ["values"] gets (same sharing
+    with [cdr_analyze sigma]). *)
+
+val kind_name : kind -> string
+(** ["analyze"], ["sweep"], ["sigma"], ["slip"] — used in responses, span
+    attributes and metric labels. *)
+
+val parse_request : string -> (request, string option * string) result
+(** Parse one request line. [Error (id, message)] carries the request id
+    when the line parsed far enough to contain one, so the rejection can
+    still be correlated. Rejects: malformed JSON, non-objects, a missing or
+    non-string ["id"], an unknown ["kind"], unknown top-level fields,
+    kind/field mismatches (["lengths"] outside [sweep], ["values"] outside
+    [sigma]) and parameter errors (see {!Params.of_json}). *)
+
+val ok_response :
+  id:string ->
+  kind:kind ->
+  degraded:bool ->
+  cache_hits:int ->
+  cache_misses:int ->
+  elapsed_ms:float ->
+  Cdr_obs.Jsonl.t ->
+  Cdr_obs.Jsonl.t
+(** Success envelope around a result payload. [degraded] marks a solve that
+    only converged after the relaxed-tolerance retry; [cache_hits]/[misses]
+    are this request's deltas against the shared solver cache. *)
+
+val error_response : ?id:string -> code:error_code -> message:string -> unit -> Cdr_obs.Jsonl.t

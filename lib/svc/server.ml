@@ -1,0 +1,183 @@
+type config = {
+  queue_bound : int;
+  jobs : int option;
+  default_deadline_ms : float option;
+}
+
+(* ---------- pieces shared by both transports ---------- *)
+
+let absolute_deadline cfg req =
+  let rel =
+    match req.Protocol.deadline_ms with Some _ as d -> d | None -> cfg.default_deadline_ms
+  in
+  Option.map (fun ms -> Cdr_obs.Clock.now () +. (ms /. 1000.)) rel
+
+(* parse + admit one line; [write] delivers both the rejection (now) and the
+   response (later, from the solve loop) for this request's origin *)
+let submit cfg queue ~write line =
+  match Protocol.parse_request line with
+  | Error (id, message) -> write (Protocol.error_response ?id ~code:`Bad_request ~message ())
+  | Ok req -> (
+      let job = { Engine.request = req; deadline = absolute_deadline cfg req; reply = write } in
+      let refuse message =
+        Cdr_obs.Metrics.incr "serve.requests"
+          ~labels:[ ("kind", Protocol.kind_name req.Protocol.kind); ("status", "overloaded") ];
+        write (Protocol.error_response ~id:req.Protocol.id ~code:`Overloaded ~message ())
+      in
+      match Admission.push queue job with
+      | `Ok -> ()
+      | `Overloaded -> refuse (Printf.sprintf "admission queue full (bound %d)" cfg.queue_bound)
+      | `Closed -> refuse "server is shutting down")
+
+(* the single consumer: block for one job, then let whatever else queued up
+   meanwhile ride along as a batch so the engine can group it by structure *)
+let serve_loop engine queue =
+  let rec loop () =
+    match Admission.pop queue with
+    | None -> ()
+    | Some job ->
+        Engine.process engine (job :: Admission.drain queue);
+        loop ()
+  in
+  loop ()
+
+(* Condition.wait / input_line / accept block in C, where signal handlers
+   cannot run; this thread's Thread.delay wakeups are the guaranteed
+   safepoints that let a pending SIGTERM actually execute its handler, after
+   which it closes admission and wakes the consumer. [finished] terminates
+   the ticker on a normal (EOF-driven) shutdown. *)
+let shutdown_ticker ~stop ~finished queue =
+  Thread.create
+    (fun () ->
+      while not (Atomic.get stop || Atomic.get finished) do
+        Thread.delay 0.05
+      done;
+      if Atomic.get stop then Admission.close queue)
+    ()
+
+let install_sigterm stop =
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+
+let make_engine cfg =
+  let pool =
+    match cfg.jobs with
+    | Some j when j > 1 -> Some (Cdr_par.Pool.create ~jobs:j ())
+    | _ -> None
+  in
+  Engine.create ?pool ()
+
+(* ---------- stdio transport ---------- *)
+
+let run_stdio cfg =
+  let stop = Atomic.make false and finished = Atomic.make false in
+  install_sigterm stop;
+  let engine = make_engine cfg in
+  let queue = Admission.create ~bound:cfg.queue_bound in
+  let out_mu = Mutex.create () in
+  let write json =
+    Mutex.lock out_mu;
+    print_string (Cdr_obs.Jsonl.to_string json);
+    print_newline ();
+    flush stdout;
+    Mutex.unlock out_mu
+  in
+  let _reader =
+    Thread.create
+      (fun () ->
+        (try
+           while not (Atomic.get stop) do
+             let line = input_line stdin in
+             if String.trim line <> "" then submit cfg queue ~write line
+           done
+         with End_of_file -> ());
+        Admission.close queue)
+      ()
+  in
+  let _ticker = shutdown_ticker ~stop ~finished queue in
+  serve_loop engine queue;
+  Atomic.set finished true
+
+(* ---------- unix-domain-socket transport ---------- *)
+
+(* per-connection reply path: responses drain through the shared solve loop
+   after the connection's reader can already have hit EOF, so the socket is
+   only closed once every admitted request has been answered *)
+type conn = {
+  oc : out_channel;
+  mu : Mutex.t;
+  mutable pending : int;
+  mutable eof : bool;
+}
+
+let conn_write c json =
+  Mutex.lock c.mu;
+  (try
+     output_string c.oc (Cdr_obs.Jsonl.to_string json);
+     output_char c.oc '\n';
+     flush c.oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.unlock c.mu
+
+let conn_close_if_done c =
+  Mutex.lock c.mu;
+  let close_now = c.eof && c.pending = 0 in
+  Mutex.unlock c.mu;
+  if close_now then try close_out c.oc with Sys_error _ | Unix.Unix_error _ -> ()
+
+let run_socket ~path cfg =
+  let stop = Atomic.make false and finished = Atomic.make false in
+  install_sigterm stop;
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let engine = make_engine cfg in
+  let queue = Admission.create ~bound:cfg.queue_bound in
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  let handle_conn fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let c =
+      { oc = Unix.out_channel_of_descr fd; mu = Mutex.create (); pending = 0; eof = false }
+    in
+    (* [submit] writes exactly one response per line — synchronously for a
+       rejection, from the solve loop otherwise — so one pending count per
+       non-empty line balances either way *)
+    let reply json =
+      conn_write c json;
+      Mutex.lock c.mu;
+      c.pending <- c.pending - 1;
+      Mutex.unlock c.mu;
+      conn_close_if_done c
+    in
+    (try
+       while not (Atomic.get stop) do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           Mutex.lock c.mu;
+           c.pending <- c.pending + 1;
+           Mutex.unlock c.mu;
+           submit cfg queue ~write:reply line
+         end
+       done
+     with End_of_file | Sys_error _ -> ());
+    Mutex.lock c.mu;
+    c.eof <- true;
+    Mutex.unlock c.mu;
+    conn_close_if_done c
+  in
+  let _acceptor =
+    Thread.create
+      (fun () ->
+        try
+          while not (Atomic.get stop) do
+            let fd, _ = Unix.accept sock in
+            ignore (Thread.create handle_conn fd)
+          done
+        with Unix.Unix_error _ | Sys_error _ -> ())
+      ()
+  in
+  let _ticker = shutdown_ticker ~stop ~finished queue in
+  serve_loop engine queue;
+  Atomic.set finished true;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()

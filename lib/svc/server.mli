@@ -1,0 +1,40 @@
+(** The long-running analysis server behind [cdr_serve].
+
+    Two transports over one core:
+
+    - {!run_stdio}: one request per stdin line, one response per stdout
+      line — the mode the smoke tests and shell pipelines use;
+    - {!run_socket}: the same protocol over a Unix-domain stream socket,
+      every connection multiplexed onto the single solve loop.
+
+    Threading model: protocol readers are lightweight systhreads (they
+    block in [input_line]/[accept], which releases the runtime lock), the
+    solve loop runs on the main thread, and solve parallelism comes from
+    the engine's domain pool — so OCaml domains are spent on numeric
+    kernels, not on connection plumbing. A ticker thread wakes every 50 ms
+    purely to guarantee signal delivery while everything else is parked in
+    blocking C calls.
+
+    Shutdown: SIGTERM (or stdin EOF in stdio mode) stops admission, the
+    loop drains every already accepted request, replies to each, and both
+    entry points return normally — the caller exits 0. Requests arriving
+    during the drain are refused with an ["overloaded"] error. *)
+
+type config = {
+  queue_bound : int;
+      (** max queued (admitted, not yet executing) requests; pushes beyond
+          it are answered ["overloaded"] immediately *)
+  jobs : int option;
+      (** worker-domain count for the engine pool; [None] or [Some 1]
+          solves serially (no domains spawned) *)
+  default_deadline_ms : float option;
+      (** applied to requests that carry no ["deadline_ms"] *)
+}
+
+val run_stdio : config -> unit
+
+val run_socket : path:string -> config -> unit
+(** Binds (and on exit unlinks) the socket at [path]; an existing file at
+    [path] is removed first. Responses for one connection go back on that
+    connection; SIGPIPE is ignored so a vanished client only loses its own
+    replies. *)

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of cdr_serve's stdio mode: a canned mixed session
+# covering every request kind plus malformed input, then deterministic
+# deadline-timeout, queue-overload and SIGTERM-drain checks. Assertions are
+# structural (response ids, codes, exact counter values) — never wall times.
+set -eu
+
+SERVE=${SERVE:-_build/default/bin/cdr_serve.exe}
+TMP=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# tiny config (32-bin grid, 16 phases, counter 2): each analyze solves in
+# well under a second, so the whole script stays fast
+P='"params":{"grid":32,"phases":16,"counter":2}'
+P2='"params":{"grid":32,"phases":16,"counter":2,"p_transition":0.4}'
+
+echo "--- canned session: every kind, a structure-sharing pair, bad input"
+{
+  echo '{"id":"a1","kind":"analyze",'"$P"'}'
+  echo '{"id":"a2","kind":"analyze",'"$P2"'}'
+  echo '{"id":"sw","kind":"sweep","lengths":[2,4],'"$P"'}'
+  echo '{"id":"sg","kind":"sigma","values":[0.05,0.06],'"$P"'}'
+  echo '{"id":"sl","kind":"slip",'"$P"'}'
+  echo 'this is not json'
+  echo '{"id":"uf","kind":"analyze","paramz":{}}'
+} | "$SERVE" --summary >"$TMP/out1" 2>"$TMP/metrics1"
+
+grep -q '"id":"a1","ok":true' "$TMP/out1"
+grep -q '"id":"sw","ok":true' "$TMP/out1"
+grep -q '"id":"sg","ok":true' "$TMP/out1"
+grep -q '"id":"sl","ok":true' "$TMP/out1"
+# a2 only differs from a1 in a noise parameter: same structure key, so its
+# solve reuses a1's cached multigrid setup and the response says so
+grep -q '"id":"a2","ok":true.*"hits":[1-9]' "$TMP/out1"
+test "$(grep -c '"code":"bad_request"' "$TMP/out1" || true)" -eq 2
+grep -q 'solver_cache.hits = [1-9]' "$TMP/metrics1"
+grep -q 'serve.requests{kind=analyze,status=ok} = 2' "$TMP/metrics1"
+
+echo "--- deadline timeout answered, server keeps serving"
+{
+  echo '{"id":"t1","kind":"analyze","deadline_ms":1,"hold_ms":50,'"$P"'}'
+  echo '{"id":"t2","kind":"analyze",'"$P"'}'
+} | "$SERVE" >"$TMP/out2"
+grep -q '"id":"t1","ok":false.*"code":"timeout"' "$TMP/out2"
+grep -q '"id":"t2","ok":true' "$TMP/out2"
+
+echo "--- backpressure: queue bound 2 overflows while the solve loop is held"
+mkfifo "$TMP/in3"
+"$SERVE" --queue-bound 2 <"$TMP/in3" >"$TMP/out3" &
+server_pid=$!
+{
+  # h1 occupies the single solve loop for ~1s; the next two fill the queue
+  # to its bound; the fourth must be refused immediately
+  echo '{"id":"h1","kind":"analyze","hold_ms":1000,'"$P"'}'
+  sleep 0.4
+  echo '{"id":"q1","kind":"analyze",'"$P"'}'
+  echo '{"id":"q2","kind":"analyze",'"$P"'}'
+  echo '{"id":"ov","kind":"analyze",'"$P"'}'
+} >"$TMP/in3"
+wait "$server_pid"
+server_pid=""
+grep -q '"id":"ov","ok":false.*"code":"overloaded"' "$TMP/out3"
+grep -q '"id":"h1","ok":true' "$TMP/out3"
+grep -q '"id":"q1","ok":true' "$TMP/out3"
+grep -q '"id":"q2","ok":true' "$TMP/out3"
+
+echo "--- SIGTERM drains admitted requests and exits 0"
+mkfifo "$TMP/in4"
+"$SERVE" <"$TMP/in4" >"$TMP/out4" &
+server_pid=$!
+exec 9>"$TMP/in4" # keep the fifo open so EOF is not what stops the server
+echo '{"id":"d1","kind":"analyze","hold_ms":400,'"$P"'}' >&9
+echo '{"id":"d2","kind":"analyze",'"$P"'}' >&9
+sleep 0.2 # d1 executing, d2 admitted
+kill -TERM "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=""
+exec 9>&-
+test "$status" -eq 0
+grep -q '"id":"d1","ok":true' "$TMP/out4"
+grep -q '"id":"d2","ok":true' "$TMP/out4"
+
+echo "serve smoke: all checks passed"
