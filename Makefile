@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke serve-smoke clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke serve-smoke bench-load load-smoke clean
 
 all: build
 
@@ -58,9 +58,24 @@ serve-smoke: build
 
 # Domain-pool scaling: sweep + SpMV wall times at jobs 1/2/4/8. On a
 # single-core host expect speedup <= 1; the point there is the bit-identical
-# column staying "identical".
+# column staying "identical". The V-cycle part runs under the pool profiler
+# and prints per-phase wall-time attribution plus the top overhead phase.
 bench-scaling:
 	dune exec bench/main.exe -- parallel
+
+# Load benchmark: an open-loop mixed session (analyze/sweep/sigma/slip at a
+# fixed target rate) through a spawned cdr_serve, reporting throughput,
+# per-kind latency percentiles and error-code counts into BENCH.json
+# (path overridable via CDR_BENCH_JSON), with the server's own "stats"
+# snapshot embedded alongside the client-side numbers.
+bench-load: build
+	dune exec bin/cdr_load.exe -- --rate 50 -n 100 --grid 32 --structures 3
+
+# CI load smoke: a short cdr_load session plus structural assertions on the
+# JSON report (response accounting, percentile fields, embedded server
+# stats, deadline-induced timeouts) — never wall times or rates.
+load-smoke: build
+	bash scripts/load_smoke.sh
 
 clean:
 	dune clean

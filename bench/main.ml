@@ -532,19 +532,28 @@ let exp_parallel () =
      Determinism here is the strong claim: pi must be bitwise identical for
      every job count. *)
   Format.printf "@.(c) multigrid V-cycles, colored smoother, %d states:@." n;
-  Format.printf "  %-6s %-10s %-10s %-14s@." "jobs" "wall (s)" "speedup" "pi bits";
+  Format.printf "  %-6s %-10s %-10s %-14s %-10s@." "jobs" "wall (s)" "speedup" "pi bits"
+    "attributed";
   let mg_setup =
     Markov.Multigrid.setup ~smoother:`Colored ~hierarchy:(Cdr.Model.hierarchy model) chain
   in
   let t1 = ref nan in
   let ref_bits = ref None in
+  let profiles = ref [] in
+  (* the pool profiler answers the ROADMAP question this table raises: when
+     jobs > 1 is slower, which phase paid for it — idle slots or the
+     caller's barrier wait? *)
+  Cdr_par.Pool.set_profiling true;
   List.iter
     (fun jobs ->
+      let before = Cdr_obs.Profile.collect () in
       let (sol, _), dt =
         time (fun () ->
             Cdr_par.Pool.with_pool ~jobs (fun pool ->
                 Markov.Multigrid.solve_with ~tol:1e-10 ~pool mg_setup chain))
       in
+      let prof = Cdr_obs.Profile.sub (Cdr_obs.Profile.collect ()) before in
+      profiles := (jobs, (prof, dt)) :: !profiles;
       if Float.is_nan !t1 then t1 := dt;
       let bits = Array.map Int64.bits_of_float sol.Markov.Solution.pi in
       let identical =
@@ -554,12 +563,49 @@ let exp_parallel () =
             true
         | Some r -> r = bits
       in
+      let coverage = Cdr_obs.Profile.coverage ~total:dt prof in
       Cdr_obs.Metrics.set_gauge "bench.mg_colored_seconds"
         ~labels:[ ("jobs", string_of_int jobs) ]
         dt;
-      Format.printf "  %-6d %-10.2f %-10.2f %-14s@." jobs dt (!t1 /. dt)
-        (if identical then "identical" else "DIFFER (bug!)"))
+      Cdr_obs.Metrics.set_gauge "bench.mg_profile_coverage"
+        ~labels:[ ("jobs", string_of_int jobs) ]
+        coverage;
+      Format.printf "  %-6d %-10.2f %-10.2f %-14s %5.1f%%@." jobs dt (!t1 /. dt)
+        (if identical then "identical" else "DIFFER (bug!)")
+        (100. *. coverage))
     job_counts;
+  Cdr_par.Pool.set_profiling false;
+  (* phase attribution at the scaling endpoints, and the headline: which
+     phase carries the most parallel overhead (idle + barrier) at jobs=8 *)
+  let profile_of jobs = List.assoc_opt jobs !profiles in
+  let top_overhead jobs =
+    match profile_of jobs with
+    | Some (prof, _) -> (
+        match
+          List.stable_sort
+            (fun a b -> compare (Cdr_obs.Profile.overhead b) (Cdr_obs.Profile.overhead a))
+            prof
+        with
+        | top :: _ when Cdr_obs.Profile.overhead top > 0.0 ->
+            Printf.sprintf "%s (level %s, %.3fs idle+barrier)" (Cdr_obs.Profile.phase top)
+              (Option.value ~default:"-" (List.assoc_opt "level" top.Cdr_obs.Profile.labels))
+              (Cdr_obs.Profile.overhead top)
+        | _ -> "none (zero idle+barrier: every batch ran serially)")
+    | None -> "not run"
+  in
+  (match profile_of (List.fold_left max 1 job_counts) with
+  | Some (prof, dt) ->
+      let jmax = List.fold_left max 1 job_counts in
+      Format.printf "@.per-phase attribution at jobs=%d (%.1f%% of %.2fs wall attributed):@."
+        jmax
+        (100. *. Cdr_obs.Profile.coverage ~total:dt prof)
+        dt;
+      Format.printf "%a" Cdr_obs.Profile.pp prof
+  | None -> ());
+  Format.printf "@.top overhead phase: jobs=1 -> %s@." (top_overhead 1);
+  Format.printf "top overhead phase: jobs=%d -> %s@."
+    (List.fold_left max 1 job_counts)
+    (top_overhead (List.fold_left max 1 job_counts));
   section_smoother := "lex,colored";
   Format.printf
     "@.results are bit-identical across job counts by construction (fixed slot grids,@.";

@@ -1,0 +1,346 @@
+(* Open-loop, deadline-aware load generator for cdr_serve.
+
+   Replays a mixed analyze/sweep/sigma/slip session at a fixed target rate:
+   each request has a scheduled send instant (t0 + i/rate) that does not
+   depend on earlier responses, so a slow server cannot make the generator
+   politely back off and hide the queueing it causes (no coordinated
+   omission). Latency is measured from the scheduled instant to the
+   response, on the monotonic clock.
+
+   The server is either spawned as a child over stdio pipes (default; the
+   binary is looked up next to cdr_load itself) or an already-running one is
+   reached over its Unix-domain socket (--socket). After the session one
+   "stats" request closes the loop: the server's own view of the run lands
+   in the report next to the client-side percentiles. *)
+
+open Cmdliner
+
+let rate =
+  let doc = "Target request rate in requests/second (open loop)." in
+  Arg.(value & opt float 20.0 & info [ "rate" ] ~docv:"RPS" ~doc)
+
+let requests =
+  let doc = "Total number of requests to send." in
+  Arg.(value & opt int 100 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let socket =
+  let doc =
+    "Connect to a running cdr_serve on this Unix-domain socket instead of spawning one."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_bin =
+  let doc = "cdr_serve binary to spawn (ignored with --socket). Default: next to cdr_load." in
+  Arg.(value & opt (some string) None & info [ "serve-bin" ] ~docv:"PATH" ~doc)
+
+let jobs =
+  let doc = "Worker domains for the spawned server's solver kernels." in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let deadline_ms =
+  let doc = "Per-request deadline_ms field; expired requests come back as timeout errors." in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let grid =
+  let doc = "Phase-error grid bins per request (problem size knob)." in
+  Arg.(value & opt int 32 & info [ "grid" ] ~docv:"BINS" ~doc)
+
+let structures =
+  let doc =
+    "Rotate the counter length through this many values (2, 3, ...): distinct counters give \
+     distinct sparsity structures, exercising the server's setup cache and batcher."
+  in
+  Arg.(value & opt int 2 & info [ "structures" ] ~docv:"K" ~doc)
+
+let json_path =
+  let doc = "Write the machine-readable report here (default: $(b,CDR_BENCH_JSON) or BENCH.json)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+(* ---------- session construction ---------- *)
+
+let mono () = Cdr_obs.Clock.monotonic ()
+
+(* the canned mix: analyze-heavy, every solve kind present, deterministic *)
+let kind_of_index i =
+  match i mod 5 with 0 | 1 -> `Analyze | 2 -> `Sweep | 3 -> `Sigma | _ -> `Slip
+
+let kind_name = function
+  | `Analyze -> "analyze"
+  | `Sweep -> "sweep"
+  | `Sigma -> "sigma"
+  | `Slip -> "slip"
+  | `Stats -> "stats"
+
+let request_line ~grid ~structures ~deadline_ms i =
+  let kind = kind_of_index i in
+  let counter = 2 + (i mod max 1 structures) in
+  let base =
+    [
+      ("id", Cdr_obs.Jsonl.Str (Printf.sprintf "l%05d" i));
+      ("kind", Cdr_obs.Jsonl.Str (kind_name kind));
+    ]
+  in
+  let extras =
+    match kind with
+    | `Sweep -> [ ("lengths", Cdr_obs.Jsonl.List [ Num 2.; Num 4. ]) ]
+    | `Sigma -> [ ("values", Cdr_obs.Jsonl.List [ Num 0.05; Num 0.06 ]) ]
+    | _ -> []
+  in
+  let deadline =
+    match deadline_ms with Some ms -> [ ("deadline_ms", Cdr_obs.Jsonl.Num ms) ] | None -> []
+  in
+  let params =
+    Cdr_obs.Jsonl.Obj
+      [
+        ("grid", Num (float_of_int grid));
+        ("phases", Num 16.);
+        ("counter", Num (float_of_int counter));
+      ]
+  in
+  ( kind_name kind,
+    Cdr_obs.Jsonl.to_string
+      (Cdr_obs.Jsonl.Obj (base @ extras @ deadline @ [ ("params", params) ])) )
+
+(* ---------- transports ---------- *)
+
+let default_serve_bin () =
+  let beside = Filename.concat (Filename.dirname Sys.executable_name) "cdr_serve.exe" in
+  if Sys.file_exists beside then beside
+  else Filename.concat (Filename.dirname Sys.executable_name) "cdr_serve"
+
+let open_channels ~socket ~serve_bin ~jobs =
+  match socket with
+  | Some path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, None)
+  | None ->
+      let bin = match serve_bin with Some b -> b | None -> default_serve_bin () in
+      let args =
+        Array.of_list
+          (bin :: (match jobs with Some j -> [ "--jobs"; string_of_int j ] | None -> []))
+      in
+      let ic, oc = Unix.open_process_args bin args in
+      (ic, oc, Some (ic, oc))
+
+(* ---------- response accounting ---------- *)
+
+type outcome = { o_kind : string; o_code : string; o_latency : float }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (max 0 (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
+let run rate requests socket serve_bin jobs deadline_ms grid structures json_path =
+  if rate <= 0.0 then begin
+    Format.eprintf "cdr_load: --rate must be positive@.";
+    exit 2
+  end;
+  if requests < 1 then begin
+    Format.eprintf "cdr_load: --requests must be >= 1@.";
+    exit 2
+  end;
+  let ic, oc, child = open_channels ~socket ~serve_bin ~jobs in
+  (* id -> (kind, scheduled send instant); latency is measured from the
+     schedule, not the (possibly late) actual write *)
+  let table : (string, string * float) Hashtbl.t = Hashtbl.create (2 * requests) in
+  let mu = Mutex.create () in
+  let outcomes = ref [] in
+  let server_stats = ref Cdr_obs.Jsonl.Null in
+  let expected = requests + 1 (* the trailing stats request *) in
+  let receiver =
+    Thread.create
+      (fun () ->
+        let seen = ref 0 in
+        (try
+           while !seen < expected do
+             let line = input_line ic in
+             let now = mono () in
+             match Cdr_obs.Jsonl.of_string line with
+             | exception Failure _ -> ()
+             | json ->
+                 let id =
+                   Option.bind (Cdr_obs.Jsonl.member "id" json) Cdr_obs.Jsonl.to_str
+                 in
+                 let code =
+                   match Cdr_obs.Jsonl.member "ok" json with
+                   | Some (Cdr_obs.Jsonl.Bool true) -> "ok"
+                   | _ -> (
+                       match
+                         Option.bind
+                           (Option.bind (Cdr_obs.Jsonl.member "error" json)
+                              (Cdr_obs.Jsonl.member "code"))
+                           Cdr_obs.Jsonl.to_str
+                       with
+                       | Some c -> c
+                       | None -> "unparseable")
+                 in
+                 Option.iter
+                   (fun id ->
+                     Mutex.lock mu;
+                     (match Hashtbl.find_opt table id with
+                     | Some ("stats", _) ->
+                         incr seen;
+                         server_stats :=
+                           Option.value ~default:Cdr_obs.Jsonl.Null
+                             (Cdr_obs.Jsonl.member "result" json)
+                     | Some (kind, scheduled) ->
+                         incr seen;
+                         outcomes :=
+                           { o_kind = kind; o_code = code; o_latency = now -. scheduled }
+                           :: !outcomes
+                     | None -> ());
+                     Hashtbl.remove table id;
+                     Mutex.unlock mu)
+                   id
+           done
+         with End_of_file -> ()))
+      ()
+  in
+  let t0 = mono () in
+  for i = 0 to requests - 1 do
+    let kind, line = request_line ~grid ~structures ~deadline_ms i in
+    let scheduled = t0 +. (float_of_int i /. rate) in
+    let now = mono () in
+    if scheduled > now then Unix.sleepf (scheduled -. now);
+    Mutex.lock mu;
+    Hashtbl.replace table (Printf.sprintf "l%05d" i) (kind, scheduled);
+    Mutex.unlock mu;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  done;
+  (* close the loop: the server reports its own view of the session *)
+  Mutex.lock mu;
+  Hashtbl.replace table "finalstats" ("stats", mono ());
+  Mutex.unlock mu;
+  output_string oc "{\"id\":\"finalstats\",\"kind\":\"stats\"}\n";
+  flush oc;
+  (* EOF drains the stdio server; a socket server just sees the connection
+     close after the last response *)
+  (match child with
+  | Some _ -> close_out oc
+  | None -> (try Unix.shutdown (Unix.descr_of_out_channel oc) Unix.SHUTDOWN_SEND with _ -> ()));
+  Thread.join receiver;
+  let wall = mono () -. t0 in
+  (match child with Some (ic, oc) -> ignore (Unix.close_process (ic, oc)) | None -> ());
+  (* ---------- report ---------- *)
+  let outcomes = !outcomes in
+  let responses = List.length outcomes in
+  let by_kind : (string, float list ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let errors : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      let lats, oks =
+        match Hashtbl.find_opt by_kind o.o_kind with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref [], ref 0) in
+            Hashtbl.add by_kind o.o_kind cell;
+            cell
+      in
+      lats := o.o_latency :: !lats;
+      if o.o_code = "ok" then incr oks
+      else begin
+        match Hashtbl.find_opt errors o.o_code with
+        | Some r -> incr r
+        | None -> Hashtbl.add errors o.o_code (ref 1)
+      end)
+    outcomes;
+  let kind_rows =
+    Hashtbl.fold
+      (fun kind (lats, oks) acc ->
+        let sorted = Array.of_list !lats in
+        Array.sort compare sorted;
+        ( kind,
+          Cdr_obs.Jsonl.Obj
+            [
+              ("count", Num (float_of_int (Array.length sorted)));
+              ("ok", Num (float_of_int !oks));
+              ("p50_s", Num (percentile sorted 0.50));
+              ("p95_s", Num (percentile sorted 0.95));
+              ("p99_s", Num (percentile sorted 0.99));
+              ("max_s", Num (percentile sorted 1.0));
+            ] )
+        :: acc)
+      by_kind []
+    |> List.sort compare
+  in
+  let error_rows =
+    Hashtbl.fold (fun code r acc -> (code, Cdr_obs.Jsonl.Num (float_of_int !r)) :: acc) errors []
+    |> List.sort compare
+  in
+  let throughput = if wall > 0.0 then float_of_int responses /. wall else 0.0 in
+  let report =
+    Cdr_obs.Jsonl.Obj
+      [
+        ("tool", Str "cdr_load");
+        ("rate_target_rps", Num rate);
+        ("requests_sent", Num (float_of_int requests));
+        ("responses", Num (float_of_int responses));
+        ("wall_s", Num wall);
+        ("throughput_rps", Num throughput);
+        ("kinds", Obj kind_rows);
+        ("errors", Obj error_rows);
+        ("server_stats", !server_stats);
+      ]
+  in
+  let path =
+    match json_path with
+    | Some p -> p
+    | None -> (
+        match Sys.getenv_opt "CDR_BENCH_JSON" with Some p -> p | None -> "BENCH.json")
+  in
+  let out = open_out path in
+  output_string out (Cdr_obs.Jsonl.to_string report);
+  output_char out '\n';
+  close_out out;
+  Format.printf "cdr_load: %d requests at %.1f rps target -> %d responses in %.2fs (%.1f rps)@."
+    requests rate responses wall throughput;
+  List.iter
+    (fun (kind, row) ->
+      let f name = Option.bind (Cdr_obs.Jsonl.member name row) Cdr_obs.Jsonl.to_float in
+      let v name = Option.value ~default:Float.nan (f name) in
+      Format.printf "  %-8s n=%-4.0f ok=%-4.0f p50=%.4fs p95=%.4fs p99=%.4fs@." kind
+        (v "count") (v "ok") (v "p50_s") (v "p95_s") (v "p99_s"))
+    kind_rows;
+  if error_rows <> [] then
+    Format.printf "  errors: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (c, n) ->
+              Printf.sprintf "%s=%d" c
+                (int_of_float (Option.value ~default:0.0 (Cdr_obs.Jsonl.to_float n))))
+            error_rows));
+  Format.printf "report written to %s@." path;
+  (* a lost response is a bug in the server's reply accounting; fail loudly *)
+  if responses < requests then begin
+    Format.eprintf "cdr_load: %d of %d requests were never answered@." (requests - responses)
+      requests;
+    exit 1
+  end
+
+let cmd =
+  let doc = "Open-loop load generator for the cdr_serve analysis service" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Sends a deterministic mixed session (analyze/sweep/sigma/slip, rotating sparsity \
+         structures) at a fixed target rate, without waiting for responses — so server-side \
+         queueing shows up as client-side latency instead of being absorbed by the generator. \
+         Reports throughput, per-kind latency percentiles (measured from each request's \
+         scheduled send instant) and error-code counts, as one JSON object, plus the server's \
+         own \"stats\" snapshot taken at the end of the session.";
+      `S Manpage.s_examples;
+      `Pre "  \\$ cdr_load --rate 50 -n 200 --json /tmp/load.json";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "cdr_load" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ rate $ requests $ socket $ serve_bin $ jobs $ deadline_ms $ grid $ structures
+      $ json_path)
+
+let () = exit (Cmd.eval cmd)

@@ -17,11 +17,45 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable request_key : string option; (* label for the next lookups' metrics *)
 }
 
 let create ?(max_entries = 8) () =
   if max_entries < 1 then invalid_arg "Solver_cache.create: max_entries must be >= 1";
-  { max_entries; entries = []; hits = 0; misses = 0; evictions = 0 }
+  { max_entries; entries = []; hits = 0; misses = 0; evictions = 0; request_key = None }
+
+let set_request_key t key = t.request_key <- key
+
+(* The labeled counter series must stay bounded no matter what keys callers
+   produce (a load generator can invent thousands of structures): the first
+   [max_label_keys] distinct keys get their own series, everything after
+   collapses into "other". Global across caches, because the registry is. *)
+let max_label_keys = 16
+
+let key_mutex = Mutex.create ()
+
+let seen_keys : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let label_of_key k =
+  Mutex.lock key_mutex;
+  let v =
+    if Hashtbl.mem seen_keys k then k
+    else if Hashtbl.length seen_keys < max_label_keys then begin
+      Hashtbl.add seen_keys k ();
+      k
+    end
+    else "other"
+  in
+  Mutex.unlock key_mutex;
+  v
+
+(* unlabeled series always recorded (dashboards and the bench greps key on
+   them); the keyed series is additional, only when a request key is set *)
+let record t name n =
+  Cdr_obs.Metrics.add name n;
+  match t.request_key with
+  | Some k -> Cdr_obs.Metrics.add ~labels:[ ("key", label_of_key k) ] name n
+  | None -> ()
 
 let take_first p l =
   let rec go acc = function
@@ -43,18 +77,18 @@ let setup t ?(smoother = `Lex) ~hierarchy chain =
   match take_first matches t.entries with
   | Some (s, rest) ->
       t.hits <- t.hits + 1;
-      Cdr_obs.Metrics.incr "solver_cache.hits";
+      record t "solver_cache.hits" 1;
       t.entries <- s :: rest;
       s
   | None ->
       t.misses <- t.misses + 1;
-      Cdr_obs.Metrics.incr "solver_cache.misses";
+      record t "solver_cache.misses" 1;
       let s = Markov.Multigrid.setup ~smoother ~hierarchy:(hierarchy ()) chain in
       let entries = s :: t.entries in
       let dropped = List.length entries - t.max_entries in
       if dropped > 0 then begin
         t.evictions <- t.evictions + dropped;
-        Cdr_obs.Metrics.add "solver_cache.evictions" dropped
+        record t "solver_cache.evictions" dropped
       end;
       t.entries <- truncate t.max_entries entries;
       (* a long-running server watches this gauge for cache pressure: size

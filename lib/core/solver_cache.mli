@@ -36,6 +36,14 @@ val setup :
     [hierarchy ()] (only evaluated on a miss) and inserted. The returned
     setup is moved to the front of the LRU order. *)
 
+val set_request_key : t -> string option -> unit
+(** Attach a request-attribution key to subsequent {!setup} calls: while set,
+    every hit/miss/eviction is {e additionally} recorded under the labeled
+    series [solver_cache.*{key=K}] (the unlabeled totals are always kept).
+    Label cardinality is bounded process-wide: after 16 distinct keys, new
+    ones collapse into [key=other] so a hostile or long-tailed workload
+    cannot grow the registry without bound. [None] turns attribution off. *)
+
 val hits : t -> int
 val misses : t -> int
 

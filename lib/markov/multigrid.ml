@@ -316,7 +316,7 @@ let colored_gauss_seidel_sweeps ?pool pat coloring trans_values x sweeps ~color_
   let n = pat.n in
   for _ = 1 to sweeps do
     for c = 0 to coloring.n_colors - 1 do
-      let t0 = Cdr_obs.Clock.now () in
+      let t0 = Cdr_obs.Clock.monotonic () in
       let lo = coloring.color_ptr.(c) in
       let count = coloring.color_ptr.(c + 1) - lo in
       let slots = slot_count count in
@@ -332,7 +332,7 @@ let colored_gauss_seidel_sweeps ?pool pat coloring trans_values x sweeps ~color_
             let denom = 1.0 -. !self in
             x.(i) <- (if denom < 1e-300 then x.(i) else !acc /. denom)
           done);
-      color_seconds.(c) <- color_seconds.(c) +. (Cdr_obs.Clock.now () -. t0)
+      color_seconds.(c) <- color_seconds.(c) +. (Cdr_obs.Clock.monotonic () -. t0)
     done;
     let s = ref 0.0 in
     for i = 0 to n - 1 do
@@ -479,11 +479,11 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
   let smooth ws l sweeps =
     (match ws.coloring with
     | None ->
-        let t0 = Cdr_obs.Clock.now () in
+        let t0 = Cdr_obs.Clock.monotonic () in
         gauss_seidel_sweeps ws.pat ws.trans_values ws.x sweeps;
         Cdr_obs.Metrics.observe "multigrid.sweep_seconds"
           ~labels:[ ("level", string_of_int l); ("color", "lex") ]
-          (Cdr_obs.Clock.now () -. t0)
+          (Cdr_obs.Clock.monotonic () -. t0)
     | Some coloring ->
         Array.fill ws.color_seconds 0 (Array.length ws.color_seconds) 0.0;
         colored_gauss_seidel_sweeps ?pool ws.pat coloring ws.trans_values ws.x sweeps
@@ -508,23 +508,31 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
     let pi = Gth.solve_dense dense in
     Array.blit pi 0 ws.x 0 nc
   in
+  (* each leaf stage of the cycle runs under a pool profiling phase labeled
+     with its level, so an enabled profiler ([Pool.set_profiling true])
+     attributes the cycle's wall time stage by stage (Cdr_obs.Profile);
+     phases wrap the leaves only, never the recursion, so the per-phase
+     walls are disjoint and sum to (almost all of) the cycle wall *)
   let rec cycle l =
     let ws = workspaces.(l) in
-    if l = n_levels - 1 then solve_coarsest ()
+    let phase name f = Cdr_par.Pool.with_phase ~labels:[ ("level", string_of_int l) ] name f in
+    if l = n_levels - 1 then phase "coarsest" solve_coarsest
     else begin
       let level = Option.get ws.level in
-      scatter_transpose ?pool ws.pat ws.values ws.trans_values;
-      smooth ws l pre_smooth;
+      phase "scatter" (fun () -> scatter_transpose ?pool ws.pat ws.values ws.trans_values);
+      phase "smooth" (fun () -> smooth ws l pre_smooth);
       let next = workspaces.(l + 1) in
-      aggregate ?pool level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
-        ~block_weight:ws.block_weight;
-      restrict_iterate ?pool level ~fine:ws.x ~coarse:next.x;
+      phase "aggregate" (fun () ->
+          aggregate ?pool level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
+            ~block_weight:ws.block_weight);
+      phase "restrict" (fun () -> restrict_iterate ?pool level ~fine:ws.x ~coarse:next.x);
       cycle (l + 1);
       (* multiplicative prolongation using the pre-recursion block weights *)
-      prolong_iterate ?pool level ~coarse:next.x ~block_weight:ws.block_weight ~x:ws.x;
-      let s = Linalg.Vec.sum ws.x in
-      if s > 0.0 then Linalg.Vec.scale_in_place (1.0 /. s) ws.x;
-      smooth ws l post_smooth
+      phase "prolong" (fun () ->
+          prolong_iterate ?pool level ~coarse:next.x ~block_weight:ws.block_weight ~x:ws.x;
+          let s = Linalg.Vec.sum ws.x in
+          if s > 0.0 then Linalg.Vec.scale_in_place (1.0 /. s) ws.x);
+      phase "smooth" (fun () -> smooth ws l post_smooth)
     end
   in
   let x0 = workspaces.(0).x in
@@ -543,7 +551,9 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
     if cancelled () then raise Cancelled;
     cycle 0;
     incr cycles;
-    let residual = Chain.residual ?pool chain x0 in
+    let residual =
+      Cdr_par.Pool.with_phase "residual" (fun () -> Chain.residual ?pool chain x0)
+    in
     (match trace with
     | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual
     | None -> ());

@@ -1,7 +1,13 @@
 let now = Unix.gettimeofday
 
-let started = now ()
+(* CLOCK_MONOTONIC via bechamel's noalloc stub: nanoseconds since an
+   arbitrary origin, immune to NTP steps and manual clock changes. All
+   duration math in the instruments is built on this; [now] remains the
+   wall-clock source for event timestamps only. *)
+let monotonic () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
-let elapsed () = now () -. started
+let started = monotonic ()
+
+let elapsed () = monotonic () -. started
 
 let minor_words () = Gc.minor_words ()

@@ -1,13 +1,22 @@
 (** The single time/allocation source for every instrument in [Cdr_obs].
 
-    Centralizing the clock keeps ad-hoc [Unix.gettimeofday] calls out of the
-    analysis code and gives one place to swap in a monotonic source. *)
+    Two clocks, two jobs: {!now} is the wall clock, used only to timestamp
+    events for correlation with the outside world; {!monotonic} is
+    [CLOCK_MONOTONIC], used for every duration (span lengths, deadlines,
+    latency histograms), so measured intervals are immune to NTP steps and
+    other wall-clock jumps. *)
 
 val now : unit -> float
-(** Wall-clock seconds since the epoch. *)
+(** Wall-clock seconds since the epoch. Timestamps only — never subtract
+    two of these to time something; use {!monotonic}. *)
+
+val monotonic : unit -> float
+(** Monotonic seconds since an arbitrary origin (boot, typically). Only
+    differences are meaningful. *)
 
 val elapsed : unit -> float
-(** Seconds since the process started (first load of this module). *)
+(** Monotonic seconds since the process started (first load of this
+    module). *)
 
 val minor_words : unit -> float
 (** Cumulative minor-heap allocation in words ([Gc.minor_words]); span

@@ -101,12 +101,58 @@ let observe ?(labels = []) ?(base = 10.0) name v =
       let b = bucket_of ~base:h.base v in
       Hashtbl.replace h.buckets b (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets b)))
 
+(* exclusive-upper quantile positions by log-bucket interpolation: find the
+   bucket holding the [q * count]-th observation, then interpolate
+   geometrically inside it (the buckets are log-scale, so the geometric
+   midpoint is the unbiased guess), clamped to the observed [min, max].
+   Observations in the underflow bucket (v <= 0 or non-finite) are treated
+   as sitting at [min_v]. *)
+let quantile h q =
+  if h.count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.count in
+    let buckets =
+      Hashtbl.fold (fun e n acc -> (e, n) :: acc) h.buckets [] |> List.sort compare
+    in
+    let clamp v = Float.max h.min_v (Float.min h.max_v v) in
+    let rec walk cum = function
+      | [] -> h.max_v
+      | (e, n) :: rest ->
+          let cum' = cum +. float_of_int n in
+          if target <= cum' || rest = [] then
+            if e = min_int then h.min_v
+            else begin
+              let lo, hi = bucket_bounds ~base:h.base e in
+              let f = Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int n)) in
+              clamp (lo *. ((hi /. lo) ** f))
+            end
+          else walk cum' rest
+    in
+    walk 0.0 buckets
+  end
+
+(* call only with [mutex] held: a snapshot the caller can read lock-free *)
+let copy_histogram h = { h with buckets = Hashtbl.copy h.buckets }
+
+let quantile_of ?(labels = []) name q =
+  let h =
+    locked (fun () ->
+        match Hashtbl.find_opt registry (key name labels) with
+        | Some (H h) -> Some (copy_histogram h)
+        | Some (C _ | G _) | None -> None)
+  in
+  Option.map (fun h -> quantile h q) h
+
 let dump () =
   locked (fun () ->
       Hashtbl.fold
         (fun (name, labels) cell acc ->
           let kind =
-            match cell with C r -> Counter !r | G r -> Gauge !r | H h -> Histogram h
+            match cell with
+            | C r -> Counter !r
+            | G r -> Gauge !r
+            | H h -> Histogram (copy_histogram h)
           in
           { name; labels; kind } :: acc)
         registry [])

@@ -45,8 +45,26 @@ val bucket_of : base:float -> float -> int
 val bucket_bounds : base:float -> int -> float * float
 (** Inclusive lower / exclusive upper edge of a bucket. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.], clamped) of
+    the observations by log-bucket interpolation: the bucket holding the
+    [q * count]-th observation is located from the per-exponent counts and
+    the value interpolated geometrically inside it, clamped to the observed
+    [[min_v, max_v]]. The estimate therefore always lands inside the bucket
+    that contains the exact sorted-sample quantile — resolution is one
+    bucket ratio ([base]), so latency histograms wanting tight p99s use a
+    small base (e.g. [~base:2.]). Underflow-bucket observations count as
+    [min_v]; [nan] on an empty histogram. *)
+
+val quantile_of : ?labels:(string * string) list -> string -> float -> float option
+(** {!quantile} against the live registry series [(name, labels)] — the
+    histogram is snapshotted under the registry lock, so this is safe
+    against concurrent {!observe}s. [None] if no such histogram exists. *)
+
 val dump : unit -> series list
-(** Snapshot of every live series, sorted by name then labels. *)
+(** Snapshot of every live series, sorted by name then labels. Histograms
+    are deep-copied, so the returned buckets can be read (e.g. by
+    {!quantile}) without racing concurrent {!observe}s. *)
 
 val to_events : unit -> Jsonl.t list
 (** One JSONL event per series (type ["metric"]), for the sinks. *)

@@ -1,0 +1,125 @@
+type row = {
+  labels : (string * string) list;
+  wall : float;
+  busy : float;
+  idle : float;
+  barrier : float;
+  merge : float;
+  dispatches : int;
+  serial : int;
+  tasks : int;
+}
+
+type t = row list
+
+let zero labels =
+  {
+    labels;
+    wall = 0.0;
+    busy = 0.0;
+    idle = 0.0;
+    barrier = 0.0;
+    merge = 0.0;
+    dispatches = 0;
+    serial = 0;
+    tasks = 0;
+  }
+
+let phase r = Option.value ~default:"unattributed" (List.assoc_opt "phase" r.labels)
+
+let overhead r = r.idle +. r.barrier
+
+let collect () =
+  let table : ((string * string) list, row ref) Hashtbl.t = Hashtbl.create 16 in
+  let row labels =
+    match Hashtbl.find_opt table labels with
+    | Some r -> r
+    | None ->
+        let r = ref (zero labels) in
+        Hashtbl.add table labels r;
+        r
+  in
+  List.iter
+    (fun (s : Metrics.series) ->
+      let hsum () = match s.kind with Metrics.Histogram h -> h.sum | _ -> 0.0 in
+      let cval () = match s.kind with Metrics.Counter n -> n | _ -> 0 in
+      match s.name with
+      | "pool.phase_seconds" ->
+          let r = row s.labels in
+          r := { !r with wall = hsum () }
+      | "pool.busy_seconds" ->
+          let r = row s.labels in
+          r := { !r with busy = hsum () }
+      | "pool.idle_seconds" ->
+          let r = row s.labels in
+          r := { !r with idle = hsum () }
+      | "pool.barrier_seconds" ->
+          let r = row s.labels in
+          r := { !r with barrier = hsum () }
+      | "pool.merge_seconds" ->
+          let r = row s.labels in
+          r := { !r with merge = hsum () }
+      | "pool.dispatches" ->
+          let r = row s.labels in
+          r := { !r with dispatches = cval () }
+      | "pool.serial_batches" ->
+          let r = row s.labels in
+          r := { !r with serial = cval () }
+      | "pool.tasks" ->
+          let r = row s.labels in
+          r := { !r with tasks = cval () }
+      | _ -> ())
+    (Metrics.dump ());
+  Hashtbl.fold (fun _ r acc -> !r :: acc) table []
+  |> List.sort (fun a b -> compare a.labels b.labels)
+
+(* [sub later earlier] — the registry only ever accumulates, so a bench
+   section brackets its work with two [collect]s and diffs them instead of
+   resetting the registry (which would corrupt other sections' deltas). *)
+let sub later earlier =
+  let base = List.map (fun r -> (r.labels, r)) earlier in
+  List.filter_map
+    (fun r ->
+      let b = Option.value ~default:(zero r.labels) (List.assoc_opt r.labels base) in
+      let d =
+        {
+          labels = r.labels;
+          wall = r.wall -. b.wall;
+          busy = r.busy -. b.busy;
+          idle = r.idle -. b.idle;
+          barrier = r.barrier -. b.barrier;
+          merge = r.merge -. b.merge;
+          dispatches = r.dispatches - b.dispatches;
+          serial = r.serial - b.serial;
+          tasks = r.tasks - b.tasks;
+        }
+      in
+      if
+        d.wall = 0.0 && d.busy = 0.0 && d.idle = 0.0 && d.barrier = 0.0 && d.merge = 0.0
+        && d.dispatches = 0 && d.serial = 0 && d.tasks = 0
+      then None
+      else Some d)
+    later
+
+let total_wall t =
+  List.fold_left (fun acc r -> if phase r = "unattributed" then acc else acc +. r.wall) 0.0 t
+
+let coverage ~total t = if total <= 0.0 then 0.0 else total_wall t /. total
+
+let pp ppf t =
+  if t = [] then Format.fprintf ppf "(no pool profile recorded)@."
+  else begin
+    Format.fprintf ppf "%-28s %9s %9s %9s %9s %9s %6s %6s %7s@." "phase" "wall(s)"
+      "busy(s)" "idle(s)" "barr(s)" "merge(s)" "batch" "serial" "tasks";
+    List.stable_sort (fun a b -> compare b.wall a.wall) t
+    |> List.iter (fun r ->
+           let name =
+             phase r
+             ^ String.concat ""
+                 (List.filter_map
+                    (fun (k, v) -> if k = "phase" then None else Some ("/" ^ k ^ "=" ^ v))
+                    r.labels)
+           in
+           Format.fprintf ppf "%-28s %9.4f %9.4f %9.4f %9.4f %9.4f %6d %6d %7d@." name r.wall
+             r.busy r.idle r.barrier r.merge r.dispatches r.serial r.tasks)
+  end

@@ -1,0 +1,52 @@
+(** Per-phase aggregation of the pool profiler's metric series.
+
+    [Cdr_par.Pool] (with profiling enabled) records batch accounting into
+    the {!Metrics} registry under the ["pool.*"] names, labeled with the
+    phase installed by [Pool.with_phase] — e.g. the V-cycle wraps each of
+    its stages (smooth / aggregate / restrict / prolong / …) per level.
+    This module folds those series into one report row per label set, which
+    is how the ROADMAP-1 question ("where does the wall time go when
+    jobs > 1?") gets a quantitative answer: compare [busy] against
+    [idle + barrier] per phase across job counts. *)
+
+type row = {
+  labels : (string * string) list; (* sorted; includes ("phase", _) *)
+  wall : float; (* with_phase scope wall time, seconds *)
+  busy : float; (* sum of per-slot task execution time *)
+  idle : float; (* jobs * batch wall - busy, accumulated over batches *)
+  barrier : float; (* caller's straggler wait after draining the queue *)
+  merge : float; (* merge_tree wall (overlaps busy/idle of its batches) *)
+  dispatches : int; (* pooled batches *)
+  serial : int; (* batches that ran on the calling domain *)
+  tasks : int; (* total slots executed *)
+}
+
+type t = row list
+
+val collect : unit -> t
+(** Snapshot the ["pool.*"] series into rows, sorted by labels. Values are
+    cumulative since process start (or the last [Metrics.reset]). *)
+
+val sub : t -> t -> t
+(** [sub later earlier]: per-label deltas, dropping all-zero rows. Bracket a
+    measured region with two {!collect}s and diff — the registry only
+    accumulates, and resetting it mid-run would corrupt other consumers. *)
+
+val phase : row -> string
+(** The ["phase"] label, or ["unattributed"]. *)
+
+val overhead : row -> float
+(** [idle + barrier]: the time this phase paid for parallelism without
+    getting work done. The top-overhead phase is the scaling bottleneck. *)
+
+val total_wall : t -> float
+(** Sum of [wall] over attributed rows (phases other than
+    ["unattributed"]). *)
+
+val coverage : total:float -> t -> float
+(** [coverage ~total t]: fraction of an externally measured wall time
+    [total] that the attributed phase walls account for. The acceptance
+    bar for the V-cycle instrumentation is [>= 0.9]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Table sorted by descending wall time. *)

@@ -51,6 +51,8 @@ let remove sink =
   in
   if removed then sink.close ()
 
+let flush_all () = locked (fun () -> List.iter (fun s -> s.flush ()) (Atomic.get sinks))
+
 let close_all () =
   let live =
     locked (fun () ->

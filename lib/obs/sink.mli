@@ -36,6 +36,11 @@ val emit : Jsonl.t -> unit
 val remove : t -> unit
 (** Uninstall one sink (flushing it); closes its channel if owned. *)
 
+val flush_all : unit -> unit
+(** Flush every installed sink's buffered output without uninstalling —
+    what a serving process calls at drain points so a [SIGTERM] never
+    truncates the last JSONL lines. *)
+
 val close_all : unit -> unit
 (** Flush and uninstall every sink; telemetry reverts to disabled. *)
 

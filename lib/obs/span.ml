@@ -54,7 +54,7 @@ let emit_event sp ~depth ~path =
          @ List.map (fun (k, v) -> ("attr_" ^ k, Jsonl.Str v)) sp.attrs))
 
 let close sp start_minor =
-  sp.dur <- Clock.now () -. sp.start;
+  sp.dur <- Clock.monotonic () -. sp.start;
   sp.minor_words <- Clock.minor_words () -. start_minor;
   sp.children <- List.rev sp.children;
   let stack = stack () in
@@ -81,7 +81,7 @@ let with_ ?(attrs = []) ~name f =
   if not (recording ()) then f ()
   else begin
     let sp =
-      { name; attrs; start = Clock.now (); dur = 0.0; minor_words = 0.0; children = [] }
+      { name; attrs; start = Clock.monotonic (); dur = 0.0; minor_words = 0.0; children = [] }
     in
     let start_minor = Clock.minor_words () in
     let stack = stack () in
@@ -96,9 +96,9 @@ let with_ ?(attrs = []) ~name f =
   end
 
 let timed ?attrs ~name f =
-  let t0 = Clock.now () in
+  let t0 = Clock.monotonic () in
   let v = with_ ?attrs ~name f in
-  (v, Clock.now () -. t0)
+  (v, Clock.monotonic () -. t0)
 
 let pp_summary ppf () =
   let table : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 32 in

@@ -19,7 +19,7 @@
 type t = {
   name : string;
   attrs : (string * string) list;
-  start : float; (* Clock.now at entry *)
+  start : float; (* Clock.monotonic at entry: duration math must not see wall-clock jumps *)
   mutable dur : float; (* seconds; set at exit *)
   mutable minor_words : float; (* allocation delta over the span *)
   mutable children : t list; (* in start order *)

@@ -9,12 +9,12 @@ type t = {
 }
 
 let create ?(name = "solver") () =
-  { trace_name = name; created = Clock.now (); rev_samples = []; count = 0; sweeps = [] }
+  { trace_name = name; created = Clock.monotonic (); rev_samples = []; count = 0; sweeps = [] }
 
 let name t = t.trace_name
 
 let record t ~iter ~residual =
-  let s = { iter; residual; elapsed = Clock.now () -. t.created } in
+  let s = { iter; residual; elapsed = Clock.monotonic () -. t.created } in
   t.rev_samples <- s :: t.rev_samples;
   t.count <- t.count + 1;
   if Sink.enabled () then

@@ -13,6 +13,7 @@ let cache t = t.cache
 type job = {
   request : Protocol.request;
   deadline : float option;
+  admitted : float;
   reply : Cdr_obs.Jsonl.t -> unit;
 }
 
@@ -55,6 +56,77 @@ let point_json ~key ~value (pt : Cdr.Sweep.point) =
 let full_solver p =
   (p.Params.solver
     :> [ `Multigrid | `Power | `Gauss_seidel | `Jacobi | `Sor of float | `Aggregation | `Arnoldi ])
+
+(* the "stats" payload: a self-describing snapshot of the serving process,
+   assembled from the metrics registry and the engine's own cache. Served
+   from the worker like any solve, so it also measures the queue. *)
+let quantile_fields (h : Cdr_obs.Metrics.histogram) =
+  [
+    ("count", int_num h.Cdr_obs.Metrics.count);
+    ("mean", num (h.Cdr_obs.Metrics.sum /. float_of_int h.Cdr_obs.Metrics.count));
+    ("p50", num (Cdr_obs.Metrics.quantile h 0.5));
+    ("p95", num (Cdr_obs.Metrics.quantile h 0.95));
+    ("p99", num (Cdr_obs.Metrics.quantile h 0.99));
+  ]
+
+let stats_payload t =
+  let series = Cdr_obs.Metrics.dump () in
+  let label (s : Cdr_obs.Metrics.series) k =
+    Option.value ~default:"" (List.assoc_opt k s.Cdr_obs.Metrics.labels)
+  in
+  let requests =
+    List.filter_map
+      (fun (s : Cdr_obs.Metrics.series) ->
+        match s.Cdr_obs.Metrics.kind with
+        | Cdr_obs.Metrics.Counter n when s.Cdr_obs.Metrics.name = "serve.requests" ->
+            Some
+              (Cdr_obs.Jsonl.Obj
+                 [
+                   ("kind", Str (label s "kind"));
+                   ("status", Str (label s "status"));
+                   ("count", int_num n);
+                 ])
+        | _ -> None)
+      series
+  in
+  let latency =
+    List.filter_map
+      (fun (s : Cdr_obs.Metrics.series) ->
+        match s.Cdr_obs.Metrics.kind with
+        | Cdr_obs.Metrics.Histogram h
+          when s.Cdr_obs.Metrics.name = "serve.latency_seconds"
+               && h.Cdr_obs.Metrics.count > 0 ->
+            Some
+              (Cdr_obs.Jsonl.Obj
+                 (("kind", Cdr_obs.Jsonl.Str (label s "kind"))
+                 :: ("status", Str (label s "status"))
+                 :: quantile_fields h))
+        | _ -> None)
+      series
+  in
+  let queue_depth =
+    List.fold_left
+      (fun acc (s : Cdr_obs.Metrics.series) ->
+        match s.Cdr_obs.Metrics.kind with
+        | Cdr_obs.Metrics.Gauge v when s.Cdr_obs.Metrics.name = "serve.queue_depth" -> v
+        | _ -> acc)
+      0.0 series
+  in
+  Cdr_obs.Jsonl.Obj
+    [
+      ("uptime_s", num (Cdr_obs.Clock.elapsed ()));
+      ("queue_depth", num queue_depth);
+      ("requests", List requests);
+      ("latency_seconds", List latency);
+      ( "cache",
+        Obj
+          [
+            ("hits", int_num (Cdr.Solver_cache.hits t.cache));
+            ("misses", int_num (Cdr.Solver_cache.misses t.cache));
+            ("evictions", int_num (Cdr.Solver_cache.evictions t.cache));
+            ("entries", int_num (Cdr.Solver_cache.length t.cache));
+          ] );
+    ]
 
 let run_kind t ~ctx req config =
   let p = req.Protocol.params in
@@ -120,19 +192,40 @@ let run_kind t ~ctx req config =
                    points) );
           ],
         false )
+  | Protocol.Stats -> (stats_payload t, false)
 
 let handle t job =
   let req = job.request in
   let kname = Protocol.kind_name req.Protocol.kind in
-  let started = Cdr_obs.Clock.now () in
+  let started = Cdr_obs.Clock.monotonic () in
   let hits0 = Cdr.Solver_cache.hits t.cache and misses0 = Cdr.Solver_cache.misses t.cache in
+  (* per-stage durations accumulate here and flush at [finish], once the
+     outcome is known, so every serve.stage_seconds series carries the same
+     (kind, status) labels as the request counter — the end-to-end chain
+     queue_wait -> [hold] -> solve -> serialize of one request always lands
+     under one outcome code *)
+  let stages = ref [ ("queue_wait", started -. job.admitted) ] in
+  let stage name seconds = stages := (name, seconds) :: !stages in
   let finish status response =
-    Cdr_obs.Metrics.observe
-      ~labels:[ ("kind", kname) ]
-      "serve.latency_seconds"
-      (Cdr_obs.Clock.now () -. started);
-    Cdr_obs.Metrics.incr "serve.requests" ~labels:[ ("kind", kname); ("status", status) ];
-    job.reply response
+    let t0 = Cdr_obs.Clock.monotonic () in
+    job.reply response;
+    let now = Cdr_obs.Clock.monotonic () in
+    stage "serialize" (now -. t0);
+    let labels = [ ("kind", kname); ("status", status) ] in
+    List.iter
+      (fun (s, dt) ->
+        Cdr_obs.Metrics.observe
+          ~labels:(("stage", s) :: labels)
+          ~base:2.0 "serve.stage_seconds" dt)
+      (List.rev !stages);
+    Cdr_obs.Metrics.observe ~labels ~base:2.0 "serve.latency_seconds" (now -. started);
+    let dh = Cdr.Solver_cache.hits t.cache - hits0 in
+    let dm = Cdr.Solver_cache.misses t.cache - misses0 in
+    if dh > 0 then
+      Cdr_obs.Metrics.add ~labels:[ ("kind", kname); ("result", "hit") ] "serve.setup_cache" dh;
+    if dm > 0 then
+      Cdr_obs.Metrics.add ~labels:[ ("kind", kname); ("result", "miss") ] "serve.setup_cache" dm;
+    Cdr_obs.Metrics.incr "serve.requests" ~labels
   in
   let fail code message =
     finish (Protocol.code_string code)
@@ -142,27 +235,44 @@ let handle t job =
     ~attrs:[ ("id", req.Protocol.id); ("kind", kname) ]
     (fun () ->
       (* hold_ms simulates a slow request (load tests); it burns deadline *)
-      (match req.Protocol.hold_ms with Some ms -> Unix.sleepf (ms /. 1000.) | None -> ());
+      (match req.Protocol.hold_ms with
+      | Some ms ->
+          let (), dt = Cdr_obs.Span.timed ~name:"serve.hold" (fun () -> Unix.sleepf (ms /. 1000.)) in
+          stage "hold" dt
+      | None -> ());
       let expired () =
-        match job.deadline with Some d -> Cdr_obs.Clock.now () >= d | None -> false
+        match job.deadline with Some d -> Cdr_obs.Clock.monotonic () >= d | None -> false
       in
       if expired () then fail `Timeout "deadline exceeded before solve"
       else
         match Params.to_config req.Protocol.params with
         | Error msg -> fail `Bad_request msg
         | Ok config -> (
-            let cancel = Option.map (fun d () -> Cdr_obs.Clock.now () >= d) job.deadline in
+            let cancel =
+              Option.map (fun d () -> Cdr_obs.Clock.monotonic () >= d) job.deadline
+            in
             let ctx =
               Cdr.Context.make ?pool:t.pool ~cache:t.cache
                 ~smoother:req.Protocol.params.Params.smoother ?cancel ()
             in
-            match run_kind t ~ctx req config with
-            | payload, degraded ->
+            (* attribute this request's setup-cache traffic to its structure
+               key for the labeled solver_cache.* series *)
+            Cdr.Solver_cache.set_request_key t.cache
+              (Some (Params.structure_key req.Protocol.params));
+            let run () =
+              Fun.protect
+                ~finally:(fun () -> Cdr.Solver_cache.set_request_key t.cache None)
+                (fun () ->
+                  Cdr_obs.Span.timed ~name:"serve.solve" (fun () -> run_kind t ~ctx req config))
+            in
+            match run () with
+            | (payload, degraded), dt ->
+                stage "solve" dt;
                 finish "ok"
                   (Protocol.ok_response ~id:req.Protocol.id ~kind:req.Protocol.kind ~degraded
                      ~cache_hits:(Cdr.Solver_cache.hits t.cache - hits0)
                      ~cache_misses:(Cdr.Solver_cache.misses t.cache - misses0)
-                     ~elapsed_ms:((Cdr_obs.Clock.now () -. started) *. 1e3)
+                     ~elapsed_ms:((Cdr_obs.Clock.monotonic () -. started) *. 1e3)
                      payload)
             | exception Markov.Multigrid.Cancelled ->
                 fail `Timeout "deadline exceeded during solve"
@@ -172,6 +282,7 @@ let process t jobs =
   (* group by structure key so same-structure requests run back to back and
      amortize the shared setup cache / model refill; first-arrival order is
      kept between groups and within each group *)
+  let t0 = Cdr_obs.Clock.monotonic () in
   let tbl = Hashtbl.create 8 in
   let order = ref [] in
   List.iter
@@ -183,6 +294,10 @@ let process t jobs =
           Hashtbl.add tbl key (ref [ j ]);
           order := key :: !order)
     jobs;
+  Cdr_obs.Metrics.observe
+    ~labels:[ ("stage", "batch_formation") ]
+    ~base:2.0 "serve.stage_seconds"
+    (Cdr_obs.Clock.monotonic () -. t0);
   List.iter
     (fun key ->
       let group = List.rev !(Hashtbl.find tbl key) in

@@ -26,7 +26,11 @@ val cache : t -> Cdr.Solver_cache.t
 type job = {
   request : Protocol.request;
   deadline : float option;
-      (** absolute {!Cdr_obs.Clock.now} time; queue wait counts against it *)
+      (** absolute {!Cdr_obs.Clock.monotonic} time; queue wait counts
+          against it *)
+  admitted : float;
+      (** {!Cdr_obs.Clock.monotonic} at admission — the anchor of the
+          request's stage chain (its queue wait is [start - admitted]) *)
   reply : Cdr_obs.Jsonl.t -> unit;  (** called exactly once per job *)
 }
 
@@ -36,8 +40,16 @@ val handle : t -> job -> unit
     cancellation hook becomes ["timeout"], anything else ["internal"]. A
     single-solve request that fails to converge is retried once with a
     1000x relaxed tolerance, warm-started from the failed iterate, and
-    flagged ["degraded"] on success. Emits the ["serve.request"] span and
-    the ["serve.latency_seconds"]/["serve.requests"] metrics. *)
+    flagged ["degraded"] on success. Emits the ["serve.request"] span (with
+    ["serve.hold"]/["serve.solve"] children) plus, per request, one
+    ["serve.latency_seconds"] observation and the per-stage chain
+    ["serve.stage_seconds{stage=queue_wait|hold|solve|serialize}"] — all
+    labeled with the request kind and its outcome code — the
+    ["serve.setup_cache{kind,result}"] hit/miss deltas, and the
+    ["serve.requests"] counter. A [Stats] request is answered inline with a
+    snapshot payload (uptime, queue depth, request counts, latency
+    p50/p95/p99 per kind and status, solver-cache counters) and never
+    touches the model layer. *)
 
 val process : t -> job list -> unit
 (** {!handle} a batch, grouped by {!Params.structure_key}; each group's

@@ -1,4 +1,4 @@
-type kind = Analyze | Sweep of int list | Sigma of float list | Slip
+type kind = Analyze | Sweep of int list | Sigma of float list | Slip | Stats
 
 type request = {
   id : string;
@@ -21,6 +21,7 @@ let kind_name = function
   | Sweep _ -> "sweep"
   | Sigma _ -> "sigma"
   | Slip -> "slip"
+  | Stats -> "stats"
 
 (* historical defaults of the cdr_analyze sweep/sigma subcommands *)
 let default_lengths = [ 2; 4; 8; 16; 32 ]
@@ -90,6 +91,10 @@ let parse_with_id ~id fields =
                 let* () = reject_extra "lengths" "sweep" in
                 let* () = reject_extra "values" "sigma" in
                 Ok (if kind_s = "analyze" then Analyze else Slip)
+            | "stats" ->
+                let* () = reject_extra "lengths" "sweep" in
+                let* () = reject_extra "values" "sigma" in
+                Ok Stats
             | "sweep" -> (
                 let* () = reject_extra "values" "sigma" in
                 match find "lengths" with

@@ -35,6 +35,12 @@ type kind =
   | Sweep of int list  (** BER vs counter length (the paper's Figure 5) *)
   | Sigma of float list  (** BER vs eye-opening jitter (Figure 4's axis) *)
   | Slip  (** cycle-slip rate and first-passage times *)
+  | Stats
+      (** introspection: a metrics / uptime / queue snapshot of the serving
+          process itself. Answered from the worker like any other request
+          (so it observes the same queue the solves do), but never touches
+          the model layer; [params] are accepted and ignored, so a client
+          can reuse its request template. *)
 
 type request = {
   id : string;

@@ -6,11 +6,14 @@ type config = {
 
 (* ---------- pieces shared by both transports ---------- *)
 
+(* deadlines are absolute monotonic times: producers stamp them here and the
+   engine compares against the same clock, so an NTP step while a request is
+   queued can neither spuriously expire it nor extend it *)
 let absolute_deadline cfg req =
   let rel =
     match req.Protocol.deadline_ms with Some _ as d -> d | None -> cfg.default_deadline_ms
   in
-  Option.map (fun ms -> Cdr_obs.Clock.now () +. (ms /. 1000.)) rel
+  Option.map (fun ms -> Cdr_obs.Clock.monotonic () +. (ms /. 1000.)) rel
 
 (* parse + admit one line; [write] delivers both the rejection (now) and the
    response (later, from the solve loop) for this request's origin *)
@@ -18,7 +21,14 @@ let submit cfg queue ~write line =
   match Protocol.parse_request line with
   | Error (id, message) -> write (Protocol.error_response ?id ~code:`Bad_request ~message ())
   | Ok req -> (
-      let job = { Engine.request = req; deadline = absolute_deadline cfg req; reply = write } in
+      let job =
+        {
+          Engine.request = req;
+          deadline = absolute_deadline cfg req;
+          admitted = Cdr_obs.Clock.monotonic ();
+          reply = write;
+        }
+      in
       let refuse message =
         Cdr_obs.Metrics.incr "serve.requests"
           ~labels:[ ("kind", Protocol.kind_name req.Protocol.kind); ("status", "overloaded") ];
@@ -95,7 +105,10 @@ let run_stdio cfg =
   in
   let _ticker = shutdown_ticker ~stop ~finished queue in
   serve_loop engine queue;
-  Atomic.set finished true
+  Atomic.set finished true;
+  (* drain complete: every admitted request has been answered; push the
+     tail of the telemetry stream out before the process is torn down *)
+  Cdr_obs.Sink.flush_all ()
 
 (* ---------- unix-domain-socket transport ---------- *)
 
@@ -179,5 +192,6 @@ let run_socket ~path cfg =
   let _ticker = shutdown_ticker ~stop ~finished queue in
   serve_loop engine queue;
   Atomic.set finished true;
+  Cdr_obs.Sink.flush_all ();
   (try Unix.close sock with Unix.Unix_error _ -> ());
   if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()

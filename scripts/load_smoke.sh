@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the cdr_load traffic generator: a short open-loop
+# mixed session against a spawned cdr_serve, then structural assertions on
+# the JSON report — response accounting, per-kind percentile fields, the
+# embedded server stats snapshot. Never asserts wall times or rates.
+set -eu
+
+LOAD=${LOAD:-_build/default/bin/cdr_load.exe}
+TMP=$(mktemp -d)
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT
+
+echo "--- open-loop session: 15 requests, every kind, 2 structures"
+"$LOAD" --rate 200 -n 15 --grid 32 --json "$TMP/load.json" >"$TMP/stdout"
+
+# every request answered (cdr_load exits non-zero otherwise; assert anyway)
+grep -q '"tool":"cdr_load"' "$TMP/load.json"
+grep -q '"requests_sent":15' "$TMP/load.json"
+grep -q '"responses":15' "$TMP/load.json"
+# per-kind percentile rows exist for the whole mix
+for kind in analyze sweep sigma slip; do
+  grep -q "\"$kind\":{\"count\"" "$TMP/load.json"
+done
+grep -q '"p50_s"' "$TMP/load.json"
+grep -q '"p99_s"' "$TMP/load.json"
+# the trailing stats request captured the server's own view of the session
+grep -q '"server_stats":{"uptime_s"' "$TMP/load.json"
+grep -q '"latency_seconds":\[' "$TMP/load.json"
+# the human summary reported throughput
+grep -q 'rps' "$TMP/stdout"
+
+echo "--- deadline pressure: a 1ms budget at high rate must produce timeouts"
+"$LOAD" --rate 500 -n 10 --grid 32 --deadline-ms 1 --json "$TMP/load2.json" >/dev/null
+grep -q '"responses":10' "$TMP/load2.json"
+grep -q '"timeout"' "$TMP/load2.json"
+
+echo "load smoke: all checks passed"

@@ -28,6 +28,7 @@ echo "--- canned session: every kind, a structure-sharing pair, bad input"
   echo '{"id":"sl","kind":"slip",'"$P"'}'
   echo 'this is not json'
   echo '{"id":"uf","kind":"analyze","paramz":{}}'
+  echo '{"id":"st","kind":"stats"}'
 } | "$SERVE" --summary >"$TMP/out1" 2>"$TMP/metrics1"
 
 grep -q '"id":"a1","ok":true' "$TMP/out1"
@@ -38,6 +39,9 @@ grep -q '"id":"sl","ok":true' "$TMP/out1"
 # solve reuses a1's cached multigrid setup and the response says so
 grep -q '"id":"a2","ok":true.*"hits":[1-9]' "$TMP/out1"
 test "$(grep -c '"code":"bad_request"' "$TMP/out1" || true)" -eq 2
+# the stats snapshot, answered last, already counts the five ok solves
+grep -q '"id":"st","ok":true.*"uptime_s"' "$TMP/out1"
+grep -q '"id":"st".*"kind":"analyze","status":"ok","count":2' "$TMP/out1"
 grep -q 'solver_cache.hits = [1-9]' "$TMP/metrics1"
 grep -q 'serve.requests{kind=analyze,status=ok} = 2' "$TMP/metrics1"
 

@@ -5,6 +5,7 @@
 
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
 
 (* ---------- Jsonl ---------- *)
 
@@ -131,6 +132,80 @@ let test_metrics_registry () =
   | _ -> Alcotest.fail "expected histogram");
   Cdr_obs.Metrics.reset ();
   check_int "reset empties registry" 0 (List.length (Cdr_obs.Metrics.dump ()))
+
+(* Quantile estimates from the log-bucketed histogram, validated against the
+   exact quantiles of the raw sample. Because the estimate interpolates inside
+   the bucket that contains the exact order statistic, the two can never
+   disagree by more than one bucket ratio (here base 2). *)
+let test_metrics_quantiles () =
+  Cdr_obs.Metrics.reset ();
+  Fun.protect ~finally:Cdr_obs.Metrics.reset @@ fun () ->
+  (* deterministic multiplicative-congruential sample spanning ~3 decades *)
+  let n = 500 in
+  let state = ref 123457 in
+  let rand () =
+    state := (1103515245 * !state + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
+  in
+  let samples = Array.init n (fun _ -> 1e-3 *. (1000.0 ** rand ())) in
+  Array.iter (fun v -> Cdr_obs.Metrics.observe ~base:2.0 "q.latency" v) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let exact q =
+    let k = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    sorted.(min (n - 1) (max 0 k))
+  in
+  List.iter
+    (fun q ->
+      let est =
+        match Cdr_obs.Metrics.quantile_of "q.latency" q with
+        | Some v -> v
+        | None -> Alcotest.fail "series missing"
+      in
+      let ex = exact q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f within one base-2 bucket of exact" q)
+        true
+        (est >= ex /. 2.0 && est <= ex *. 2.0))
+    [ 0.0; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ];
+  (* estimates are clamped to the observed range *)
+  (match Cdr_obs.Metrics.quantile_of "q.latency" 0.0 with
+  | Some v -> Alcotest.(check (float 1e-12)) "q=0 is the min" sorted.(0) v
+  | None -> Alcotest.fail "series missing");
+  (match Cdr_obs.Metrics.quantile_of "q.latency" 1.0 with
+  | Some v -> Alcotest.(check (float 1e-12)) "q=1 is the max" sorted.(n - 1) v
+  | None -> Alcotest.fail "series missing");
+  (* a single observation answers every quantile exactly *)
+  Cdr_obs.Metrics.observe ~base:2.0 "q.single" 5.0;
+  List.iter
+    (fun q ->
+      match Cdr_obs.Metrics.quantile_of "q.single" q with
+      | Some v -> Alcotest.(check (float 1e-12)) "single sample" 5.0 v
+      | None -> Alcotest.fail "series missing")
+    [ 0.0; 0.5; 1.0 ];
+  (* non-positive values land in the underflow bucket and report min_v *)
+  List.iter (Cdr_obs.Metrics.observe ~base:2.0 "q.under") [ -1.0; 0.0; 3.0 ];
+  (match Cdr_obs.Metrics.quantile_of "q.under" 0.1 with
+  | Some v -> Alcotest.(check (float 1e-12)) "underflow reports min" (-1.0) v
+  | None -> Alcotest.fail "series missing");
+  (* unknown series and counters have no quantiles *)
+  Cdr_obs.Metrics.incr "q.counter";
+  check_bool "missing series" true (Cdr_obs.Metrics.quantile_of "q.absent" 0.5 = None);
+  check_bool "counter has no quantiles" true
+    (Cdr_obs.Metrics.quantile_of "q.counter" 0.5 = None);
+  (* an empty histogram record answers nan *)
+  let empty =
+    {
+      Cdr_obs.Metrics.count = 0;
+      sum = 0.0;
+      min_v = Float.infinity;
+      max_v = Float.neg_infinity;
+      base = 10.0;
+      buckets = Hashtbl.create 1;
+    }
+  in
+  check_bool "empty histogram is nan" true
+    (Float.is_nan (Cdr_obs.Metrics.quantile empty 0.5))
 
 (* ---------- Spans ---------- *)
 
@@ -300,6 +375,7 @@ let () =
         [
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
           Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "quantiles vs exact" `Quick test_metrics_quantiles;
         ] );
       ( "span",
         [

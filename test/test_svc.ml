@@ -156,12 +156,18 @@ let test_engine_timeout_then_serve () =
   Cdr_svc.Engine.handle engine
     {
       Cdr_svc.Engine.request = analyze_req ~id:"late" ();
-      deadline = Some (Cdr_obs.Clock.now () -. 1.);
+      deadline = Some (Cdr_obs.Clock.monotonic () -. 1.);
+      admitted = Cdr_obs.Clock.monotonic ();
       reply;
     };
   (* the engine must keep serving afterwards *)
   Cdr_svc.Engine.handle engine
-    { Cdr_svc.Engine.request = analyze_req ~id:"after" (); deadline = None; reply };
+    {
+      Cdr_svc.Engine.request = analyze_req ~id:"after" ();
+      deadline = None;
+      admitted = Cdr_obs.Clock.monotonic ();
+      reply;
+    };
   match replies () with
   | [ timeout; ok ] ->
       check_bool "first timed out" false (is_ok timeout);
@@ -186,6 +192,7 @@ let test_engine_batch_cache_hits () =
               ~params:{ tiny_params with Cdr_svc.Params.p_transition = p }
               ();
           deadline = None;
+          admitted = Cdr_obs.Clock.monotonic ();
           reply;
         })
       ps
@@ -213,6 +220,7 @@ let test_engine_bad_config () =
       Cdr_svc.Engine.request =
         analyze_req ~id:"bad" ~params:{ tiny_params with Cdr_svc.Params.phases = 7 } ();
       deadline = None;
+      admitted = Cdr_obs.Clock.monotonic ();
       reply;
     };
   match replies () with
@@ -220,6 +228,71 @@ let test_engine_bad_config () =
       check_bool "rejected" false (is_ok r);
       check_string "bad_request code" "bad_request" (error_code r)
   | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs)
+
+(* ---------- Stats round-trip ---------- *)
+
+(* A "stats" request parses off the wire, flows through Engine.handle like a
+   solve, and answers with a metrics/uptime snapshot that already reflects
+   the requests handled before it. *)
+let test_engine_stats_roundtrip () =
+  (match parse "{\"id\":\"s1\",\"kind\":\"stats\"}" with
+  | Error (_, msg) -> Alcotest.failf "stats request rejected: %s" msg
+  | Ok req ->
+      check_bool "kind is stats" true (req.Cdr_svc.Protocol.kind = Cdr_svc.Protocol.Stats));
+  (* sweep/sigma-only fields stay rejected on a stats request *)
+  reject "{\"id\":\"s2\",\"kind\":\"stats\",\"lengths\":[2]}" (Some "s2");
+  reject "{\"id\":\"s3\",\"kind\":\"stats\",\"values\":[0.05]}" (Some "s3");
+  let engine = Cdr_svc.Engine.create () in
+  let reply, replies = reply_capture () in
+  let submit req =
+    Cdr_svc.Engine.handle engine
+      {
+        Cdr_svc.Engine.request = req;
+        deadline = None;
+        admitted = Cdr_obs.Clock.monotonic ();
+        reply;
+      }
+  in
+  submit (analyze_req ~id:"warm" ());
+  submit { (analyze_req ~id:"snap" ()) with Cdr_svc.Protocol.kind = Cdr_svc.Protocol.Stats };
+  match replies () with
+  | [ warm; snap ] -> (
+      check_bool "analyze ok" true (is_ok warm);
+      check_bool "stats ok" true (is_ok snap);
+      let result = field "result" snap in
+      (match Cdr_obs.Jsonl.member "uptime_s" result with
+      | Some (Cdr_obs.Jsonl.Num u) -> check_bool "uptime positive" true (u > 0.0)
+      | _ -> Alcotest.fail "stats lacks uptime_s");
+      (match Cdr_obs.Jsonl.member "queue_depth" result with
+      | Some (Cdr_obs.Jsonl.Num _) -> ()
+      | _ -> Alcotest.fail "stats lacks queue_depth");
+      (* the warm analyze is already visible in the request counters *)
+      (match Cdr_obs.Jsonl.member "requests" result with
+      | Some (Cdr_obs.Jsonl.List rows) ->
+          check_bool "analyze/ok counted" true
+            (List.exists
+               (fun row ->
+                 Cdr_obs.Jsonl.member "kind" row = Some (Cdr_obs.Jsonl.Str "analyze")
+                 && Cdr_obs.Jsonl.member "status" row = Some (Cdr_obs.Jsonl.Str "ok"))
+               rows)
+      | _ -> Alcotest.fail "stats lacks requests");
+      (* ... and in the latency histograms, with interpolated quantiles *)
+      (match Cdr_obs.Jsonl.member "latency_seconds" result with
+      | Some (Cdr_obs.Jsonl.List (row :: _)) ->
+          List.iter
+            (fun f ->
+              match Cdr_obs.Jsonl.member f row with
+              | Some (Cdr_obs.Jsonl.Num v) ->
+                  check_bool (f ^ " non-negative") true (v >= 0.0)
+              | _ -> Alcotest.failf "latency row lacks %s" f)
+            [ "mean"; "p50"; "p95"; "p99" ]
+      | _ -> Alcotest.fail "stats lacks latency_seconds rows");
+      match Cdr_obs.Jsonl.member "cache" result with
+      | Some cache ->
+          check_bool "cache entry count reported" true
+            (Cdr_obs.Jsonl.member "entries" cache <> None)
+      | None -> Alcotest.fail "stats lacks cache")
+  | rs -> Alcotest.failf "expected 2 replies, got %d" (List.length rs)
 
 (* ---------- Solver_cache eviction accounting ---------- *)
 
@@ -286,6 +359,7 @@ let () =
           Alcotest.test_case "same-structure batch hits cache" `Quick
             test_engine_batch_cache_hits;
           Alcotest.test_case "invalid config is bad_request" `Quick test_engine_bad_config;
+          Alcotest.test_case "stats round-trip" `Quick test_engine_stats_roundtrip;
         ] );
       ( "cache",
         [ Alcotest.test_case "eviction counter" `Quick test_cache_evictions ] );
