@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke serve-smoke bench-load load-smoke clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron serve-smoke bench-load load-smoke clean
 
 all: build
 
@@ -20,7 +20,7 @@ fmt:
 # Everything CI needs: the build, formatting (dune files; the container has
 # no ocamlformat), the full test suite, and the parallel suite under a
 # forced multi-domain pool.
-check: build fmt test test-par
+check: build fmt test test-par kron-smoke
 
 # Quick end-to-end telemetry smoke: the solver-telemetry bench section with
 # JSONL events streamed to a file.
@@ -48,6 +48,27 @@ bench-smoke:
 	grep -q '"solver_cache.hits":2' /tmp/bench.json
 	grep -q '"solver_cache.misses":1' /tmp/bench.json
 	@echo "bench smoke: all counter deltas as expected"
+
+# CI kron smoke: the matrix-free backend solving a 208,896-state chain that
+# was never materialized, asserted structurally from the JSON (state count,
+# finite residual, non-negative stationary mass — never wall times), then an
+# end-to-end agreement check: cdr_analyze with --backend kron must print the
+# same BER headline as --backend csr on the same config.
+kron-smoke: build
+	CDR_BENCH_JSON=/tmp/bench_kron_smoke.json dune exec bench/main.exe -- kron-smoke
+	grep -q '"bench.kron_smoke_states":208896' /tmp/bench_kron_smoke.json
+	grep -q '"bench.kron_smoke_ok":1' /tmp/bench_kron_smoke.json
+	dune exec bin/cdr_analyze.exe -- analyze --grid 64 --backend kron | grep '^COUNTER' > /tmp/kron_ber.txt
+	dune exec bin/cdr_analyze.exe -- analyze --grid 64 --backend csr | grep '^COUNTER' > /tmp/csr_ber.txt
+	cmp /tmp/kron_ber.txt /tmp/csr_ber.txt
+	@echo "kron smoke: matrix-free solve verified, backends agree"
+
+# The full KRON-SCALING ladder: build + apply cost and the avoided-CSR
+# footprint at grids 256..2048 (up to ~2M states), plus a beyond-the-wall
+# stationary solve at the first >=1e6-state rung. Takes minutes; gauges land
+# in BENCH.json (path overridable via CDR_BENCH_JSON).
+bench-kron:
+	dune exec bench/main.exe -- kron
 
 # End-to-end serving smoke: a canned mixed JSONL session through cdr_serve's
 # stdio mode (every request kind plus malformed input), then deterministic

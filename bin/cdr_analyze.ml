@@ -81,6 +81,17 @@ let solver =
   let doc = "Stationary solver: multigrid, power, or gauss-seidel." in
   Arg.(value & opt solver_conv `Multigrid & info [ "solver" ] ~doc)
 
+let backend =
+  let backend_conv = Arg.enum [ ("csr", `Csr); ("kron", `Kron) ] in
+  let doc =
+    "Operator backend: $(b,csr) (the materialized sparse chain, the default) or $(b,kron) (a \
+     matrix-free sum of Kronecker terms over the full product state space — the transition \
+     matrix is never formed, so state counts far past the CSR memory wall still solve). The \
+     kron backend serves the $(b,multigrid) and $(b,power) solvers; BER and slip measures \
+     agree with csr within the solver tolerance."
+  in
+  Arg.(value & opt backend_conv `Csr & info [ "backend" ] ~doc)
+
 let smoother =
   let smoother_conv = Arg.enum [ ("lex", `Lex); ("colored", `Colored) ] in
   let doc =
@@ -155,8 +166,47 @@ let metrics_file =
 
 (* ---------- analyze ---------- *)
 
+(* analyze on the matrix-free backend: same report shape as the CSR path
+   (the Report.t fields are computed from the Kronecker operator's solution),
+   so the printed output, trace CSV and telemetry stay uniform *)
+let run_analyze_kron ~pool ~solver cfg =
+  let solver =
+    match solver with
+    | `Gauss_seidel ->
+        Format.eprintf "cdr_analyze: solver gauss-seidel has no matrix-free path; use --backend csr@.";
+        exit 2
+    | `Multigrid -> `Multigrid
+    | `Power -> `Power
+  in
+  let model = Cdr.Kron_model.build cfg in
+  let trace = Cdr_obs.Trace.create ~name:(Cdr.Kron_model.solver_name solver) () in
+  let ctx = Cdr.Context.make ~pool ~trace ~backend:`Kron () in
+  let solution, solve_seconds =
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () -> Cdr.Kron_model.solve ~solver ~ctx model)
+  in
+  let pi = solution.Markov.Solution.pi in
+  let rho = Cdr.Kron_model.phase_marginal model ~pi in
+  let report =
+    {
+      Cdr.Report.config = cfg;
+      ber = Cdr.Ber.of_marginal cfg ~rho;
+      size = Cdr.Kron_model.n_states model;
+      iterations = solution.Markov.Solution.iterations;
+      matrix_form_seconds = model.Cdr.Kron_model.build_seconds;
+      solve_seconds;
+      phase_density = rho;
+      eye_density = Cdr.Ber.eye_density cfg ~rho;
+      trace;
+    }
+  in
+  Format.printf "%a@." Cdr.Report.pp report;
+  Format.printf "operator: %s@." (Cdr_op.label (Cdr.Kron_model.operator model));
+  Format.printf "Mean time between cycle slips: %.3e bit intervals@."
+    (Cdr.Kron_model.mean_time_between_slips model ~pi);
+  report
+
 let analyze_term =
-  let run cfg solver smoother jobs trace_file metrics_file =
+  let run cfg solver backend smoother jobs trace_file metrics_file =
     with_jobs jobs @@ fun pool ->
     Option.iter
       (fun path ->
@@ -177,12 +227,18 @@ let analyze_term =
           | oc -> (path, oc))
         metrics_file
     in
-    let report = Cdr.Report.run ~solver ~pool ~smoother cfg in
-    Format.printf "%a@." Cdr.Report.pp report;
-    let model = Cdr.Model.build ~pool cfg in
-    let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool ~smoother model in
-    let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
-    Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
+    let report =
+      match backend with
+      | `Kron -> run_analyze_kron ~pool ~solver cfg
+      | `Csr ->
+          let report = Cdr.Report.run ~solver ~pool ~smoother cfg in
+          Format.printf "%a@." Cdr.Report.pp report;
+          let model = Cdr.Model.build ~pool cfg in
+          let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool ~smoother model in
+          let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
+          Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
+          report
+    in
     Option.iter
       (fun (path, oc) ->
         output_string oc (Cdr_obs.Trace.to_csv report.Cdr.Report.trace);
@@ -194,7 +250,7 @@ let analyze_term =
       metrics_out;
     Cdr_obs.Sink.close_all ()
   in
-  Term.(const run $ config_term $ solver $ smoother $ jobs $ trace_file $ metrics_file)
+  Term.(const run $ config_term $ solver $ backend $ smoother $ jobs $ trace_file $ metrics_file)
 
 let analyze_cmd =
   let doc = "Stationary phase-error density, BER and cycle-slip time for one configuration." in

@@ -12,6 +12,7 @@ type t = {
   strategy : strategy;
   tol : float;
   cancel : (unit -> bool) option;
+  backend : Cdr_op.kind;
 }
 
 (* these literals are the historical per-call defaults; changing any of them
@@ -26,13 +27,14 @@ let default =
     strategy = cold;
     tol = 1e-12;
     cancel = None;
+    backend = `Csr;
   }
 
 let make ?pool ?trace ?cache ?init ?(smoother = `Lex) ?(strategy = cold) ?(tol = 1e-12) ?cancel
-    () =
-  { pool; trace; cache; init; smoother; strategy; tol; cancel }
+    ?(backend = `Csr) () =
+  { pool; trace; cache; init; smoother; strategy; tol; cancel; backend }
 
-let override ?pool ?trace ?cache ?init ?smoother ?strategy ?tol ?cancel t =
+let override ?pool ?trace ?cache ?init ?smoother ?strategy ?tol ?cancel ?backend t =
   let keep opt field = match opt with Some _ -> opt | None -> field in
   {
     pool = keep pool t.pool;
@@ -43,4 +45,5 @@ let override ?pool ?trace ?cache ?init ?smoother ?strategy ?tol ?cancel t =
     strategy = Option.value strategy ~default:t.strategy;
     tol = Option.value tol ~default:t.tol;
     cancel = keep cancel t.cancel;
+    backend = Option.value backend ~default:t.backend;
   }

@@ -49,12 +49,18 @@ type t = {
           {!Markov.Multigrid.Cancelled}. The serving layer points this at a
           deadline check. Only the multigrid solver polls it — the other
           solvers complete normally. *)
+  backend : Cdr_op.kind;
+      (** operator representation the solve runs on, [`Csr]. [`Kron] routes
+          the entry points that support it through the matrix-free Kronecker
+          operator ({!Kron_model}) instead of the materialized chain; entry
+          points with no matrix-free path reject it rather than silently
+          falling back. *)
 }
 
 val default : t
 (** No pool, no trace, no cache, no warm start, [`Lex] smoother, {!cold}
-    strategy, tolerance [1e-12], no cancellation — exactly the defaults the
-    per-call optional arguments have always had. *)
+    strategy, tolerance [1e-12], no cancellation, [`Csr] backend — exactly
+    the defaults the per-call optional arguments have always had. *)
 
 val make :
   ?pool:Cdr_par.Pool.t ->
@@ -65,6 +71,7 @@ val make :
   ?strategy:strategy ->
   ?tol:float ->
   ?cancel:(unit -> bool) ->
+  ?backend:Cdr_op.kind ->
   unit ->
   t
 (** {!default} with the given fields replaced. *)
@@ -78,6 +85,7 @@ val override :
   ?strategy:strategy ->
   ?tol:float ->
   ?cancel:(unit -> bool) ->
+  ?backend:Cdr_op.kind ->
   t ->
   t
 (** [t] with every {e explicitly passed} argument replacing the matching

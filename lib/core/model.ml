@@ -367,6 +367,8 @@ let rebuild ?pool t cfg =
       Cdr_obs.Metrics.incr "model.rebuilds" ~labels:[ ("pattern", "fresh") ];
       (build_direct ?pool cfg, false)
 
+let operator t = Cdr_op.Csr_backend.create (Markov.Chain.tpm t.chain)
+
 let phase_marginal t ~pi =
   Markov.Stat.marginal ~pi ~label:t.phase_bin ~n_labels:t.config.Config.grid_points
 

@@ -28,6 +28,21 @@ val initial_state : Config.t -> int * int * int
 (** Canonical start: data (bit 0, run 1), counter 0, phase bin 0 (phase
     [-1/2])... actually phase centered at 0; see implementation. *)
 
+type direct_tables = {
+  data_outcomes : (float * int * bool) list array;
+      (* per data state: (prob, next data, transition?) *)
+  pd_probs : (float * float * float) array; (* per phase bin: lead/null/lag *)
+  counter_table : (int * Counter.command) array array;
+  nr_atoms : (int * float) list;
+}
+(** The per-block marginalized probability tables the direct construction
+    enumerates successors from. Exposed because they are also exactly the
+    ingredients of the Kronecker factorization ({!Kron_model} builds its
+    factor matrices from them) — one source of truth for both
+    representations. *)
+
+val direct_tables : Config.t -> direct_tables
+
 val build_via_network : Config.t -> t
 
 val build_direct : ?pool:Cdr_par.Pool.t -> Config.t -> t
@@ -65,6 +80,11 @@ val rebuild : ?pool:Cdr_par.Pool.t -> t -> Config.t -> t * bool
     or the new noise parameters move the set of nonzeros — it falls back to
     {!build_direct} and returns [(model, false)]. Counted in the
     ["model.rebuilds"] metric with a [pattern=reused|fresh] label. *)
+
+val operator : t -> Cdr_op.t
+(** The chain's TPM wrapped as a {!Cdr_op.t} CSR backend — the materialized
+    counterpart of {!Kron_model.operator}, so backend-generic code (solvers,
+    benches, tests) can treat both representations uniformly. *)
 
 val phase_marginal : t -> pi:Linalg.Vec.t -> Linalg.Vec.t
 (** Stationary marginal over phase bins (the density the paper plots). *)

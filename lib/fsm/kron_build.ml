@@ -1,0 +1,154 @@
+(* Kronecker factorization of a network's global transition operator.
+
+   Condition on the joint output vector [o] of every component whose output
+   other components read ("broadcast" components). Given [o], each
+   component's state transition depends only on its own state and its
+   private noise — the inputs it reads are either fixed by [o] or private —
+   so the conditional one-step operator is a Kronecker product of small
+   per-component matrices:
+
+     P = sum over joint outputs o of  (x)_k  A_k^(o)
+
+   where A_k^(o)[s, s'] sums, over the component's private noise, the
+   probability of stepping s -> s' *and* (for a broadcast component)
+   emitting exactly o_k. Total probability over outputs makes the sum
+   row-stochastic on the full product space.
+
+   The factorization requires two structural properties, checked by
+   {!supports}:
+   - no [From_state] wiring: registered state feedback couples one factor's
+     row choice to another factor's state, which no finite sum of products
+     over *outputs* can express;
+   - every source is read by at most one component: a shared source
+     correlates two factors through their noise.
+
+   The operator lives on the FULL product space (Network.n_global_states),
+   not the reachable subset [build_chain] explores: matrix-free iteration
+   cannot know reachability in advance. Stationary mass still concentrates
+   on the recurrent class, so functionals of the stationary vector agree
+   with the reachable-space chain. *)
+
+let supports net =
+  let wiring = Network.wiring net in
+  let comps = Network.components net in
+  let n_src = Array.length (Network.sources net) in
+  let reader = Array.make n_src (-1) in
+  let obstacle = ref None in
+  let report msg = if !obstacle = None then obstacle := Some msg in
+  if Array.length comps = 0 then report "network has no components";
+  Array.iteri
+    (fun k wires ->
+      Array.iter
+        (fun wire ->
+          match wire with
+          | Network.From_state c ->
+              report
+                (Printf.sprintf
+                   "component %s reads component %d's state (registered feedback)"
+                   comps.(k).Component.name c)
+          | Network.From_source s ->
+              if reader.(s) >= 0 && reader.(s) <> k then
+                report
+                  (Printf.sprintf "source %s is shared by components %d and %d"
+                     (Network.sources net).(s).Network.source_name reader.(s) k)
+              else reader.(s) <- k
+          | Network.From_component _ -> ())
+        wires)
+    wiring;
+  match !obstacle with None -> Ok () | Some msg -> Error msg
+
+let of_network net =
+  (match supports net with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Kron_build.of_network: " ^ msg));
+  let comps = Network.components net in
+  let wiring = Network.wiring net in
+  let sources = Network.sources net in
+  let nk = Array.length comps in
+  let n_src = Array.length sources in
+  (* private sources of each component, in first-read order, deduplicated *)
+  let private_srcs = Array.make nk [||] in
+  Array.iteri
+    (fun k wires ->
+      let acc = ref [] in
+      Array.iter
+        (fun wire ->
+          match wire with
+          | Network.From_source s -> if not (List.mem s !acc) then acc := s :: !acc
+          | _ -> ())
+        wires;
+      private_srcs.(k) <- Array.of_list (List.rev !acc))
+    wiring;
+  let broadcast = Array.make nk false in
+  Array.iter
+    (fun wires ->
+      Array.iter
+        (fun wire -> match wire with Network.From_component c -> broadcast.(c) <- true | _ -> ())
+        wires)
+    wiring;
+  let bcast =
+    Array.of_list (List.filter (fun k -> broadcast.(k)) (List.init nk (fun k -> k)))
+  in
+  (* outv.(k) is the conditioned output of broadcast component k, -1 when
+     unconstrained; sym.(s) the current symbol of private source s *)
+  let outv = Array.make nk (-1) in
+  let sym = Array.make (max 1 n_src) 0 in
+  let factor k =
+    let comp = comps.(k) in
+    let coo = Sparse.Coo.create ~rows:comp.Component.n_states ~cols:comp.Component.n_states in
+    let nonempty = ref false in
+    let inputs = Array.make comp.Component.n_inputs 0 in
+    let srcs = private_srcs.(k) in
+    for s = 0 to comp.Component.n_states - 1 do
+      let rec noise i prob =
+        if i = Array.length srcs then begin
+          Array.iteri
+            (fun port wire ->
+              inputs.(port) <-
+                (match wire with
+                | Network.From_source si -> sym.(si)
+                | Network.From_component c -> outv.(c)
+                | Network.From_state _ -> assert false))
+            wiring.(k);
+          let s', out = comp.Component.step s inputs in
+          if outv.(k) < 0 || out = outv.(k) then begin
+            Sparse.Coo.add coo ~row:s ~col:s' prob;
+            nonempty := true
+          end
+        end
+        else
+          Prob.Pmf.iter sources.(srcs.(i)).Network.pmf (fun label w ->
+              sym.(srcs.(i)) <- label;
+              noise (i + 1) (prob *. w))
+      in
+      noise 0 1.0
+    done;
+    if !nonempty then Some (Sparse.Coo.to_csr coo) else None
+  in
+  let terms = ref [] in
+  (* one term per joint output vector of the broadcast components, in
+     lexicographic order; a term with an impossible output (an all-zero
+     factor) is dropped entirely *)
+  let rec enumerate bl =
+    if bl = Array.length bcast then begin
+      let rec build k acc =
+        if k = nk then Some (List.rev acc)
+        else match factor k with None -> None | Some f -> build (k + 1) (f :: acc)
+      in
+      match build 0 [] with
+      | Some factors -> terms := Sparse.Kron_op.term factors :: !terms
+      | None -> ()
+    end
+    else begin
+      let k = bcast.(bl) in
+      for o = 0 to comps.(k).Component.n_outputs - 1 do
+        outv.(k) <- o;
+        enumerate (bl + 1)
+      done;
+      outv.(k) <- -1
+    end
+  in
+  enumerate 0;
+  match !terms with
+  | [] -> invalid_arg "Kron_build.of_network: network has no possible transitions"
+  | ts -> Sparse.Kron_op.sum (List.rev ts)

@@ -1,0 +1,28 @@
+(** Kronecker factorization of a network's one-step transition operator.
+
+    The structural bridge between the FSM composition formalism and the
+    matrix-free solver backend: for networks whose coupling flows only
+    through component {e outputs} — no registered state feedback, no noise
+    source shared between components — the global transition matrix is a sum
+    of Kronecker products of per-component matrices, one term per joint
+    output vector of the components that others read. The operator covers
+    the {e full} product state space ([Network.n_global_states]), with the
+    factor order matching [Network.encode]'s mixed-radix packing (component
+    0 slowest), and its rows sum to 1 by total probability over outputs.
+
+    The production CDR chain wires the phase-error state back into the
+    phase detector ([From_state]), so it does not pass {!supports}; the CDR
+    model builds its factorization directly from its per-block probability
+    tables instead ([Cdr.Kron_model]). This generic builder serves the
+    property tests (factorized vs. explicitly built chains on randomized
+    networks) and any future feed-forward model. *)
+
+val supports : Network.t -> (unit, string) result
+(** [Ok ()] when the network's operator factorizes; [Error why] names the
+    first obstacle (state feedback, a shared source, or no components). *)
+
+val of_network : Network.t -> Sparse.Kron_op.t
+(** Build the factorized operator. One Kronecker term per joint output
+    vector of the broadcast components (lexicographic order); terms whose
+    conditioned output is impossible are dropped. Raises [Invalid_argument]
+    when {!supports} says no. *)

@@ -1,0 +1,167 @@
+(* Two-stage iterative aggregation/disaggregation (IAD, Takahashi-style)
+   with a matrix-free fine level.
+
+   {!Multigrid} wants the fine TPM as CSR: its setup transposes every level
+   and colors sparsity graphs — exactly the materialization the Kronecker
+   backend exists to avoid. Instead of teaching the V-cycle interior about
+   operators, this module runs the classical outer IAD loop with the fine
+   level represented only by its action and entry enumerator:
+
+     smooth (normalized power sweeps on the operator)
+     -> aggregate: A_c(I,J) = sum_{i in I} w_i * sum_{j in J} M(i,j),
+        w the within-block normalization of the smoothed iterate
+     -> solve the coarse chain exactly, with {!Multigrid} and the remaining
+        hierarchy (coarse levels are materialized CSR — at most half the
+        fine dimension, and the only CSR this solver ever builds)
+     -> disaggregate ({!Partition.prolong} with the smoothed weights)
+     -> smooth, measure the fine residual, repeat.
+
+   The aggregated pattern is a function of the operator's structure and the
+   partition only, so the first cycle's [Csr.assemble] result is refilled in
+   place on every later cycle: the coarse chain keeps physically shared
+   structure arrays, [Multigrid.matches] stays O(1), and one coarse setup
+   serves the whole solve. *)
+
+type stats = {
+  cycles : int;
+  coarse_states : int;
+  coarse_nnz : int;
+  smoothing_sweeps : int;
+}
+
+let default_hierarchy ~n_coarse =
+  Multigrid.default_hierarchy ~n:n_coarse ~coarsest:Gth.max_direct_size
+
+(* Fixed slot grid over coarse rows for the aggregation value pass; rows
+   write disjoint [values] segments and each entry accumulates in emission
+   order, so pooled refills are bit-identical to serial ones. *)
+let coarse_slots n_coarse = min 16 (max 1 (n_coarse / 64))
+
+let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ?trace
+    ?pool ?cancel ?coarse_hierarchy ~partition op =
+  let n = Cdr_op.dim op in
+  if partition.Partition.n_fine <> n then
+    invalid_arg "Op_multigrid.solve: partition does not match the operator dimension";
+  let n_coarse = partition.Partition.n_coarse in
+  let hierarchy =
+    match coarse_hierarchy with Some h -> h | None -> default_hierarchy ~n_coarse
+  in
+  let map = partition.Partition.map in
+  let blocks = Partition.blocks partition in
+  let x = ref (match init with Some v -> Linalg.Vec.copy v | None -> Array.make n (1.0 /. float_of_int n)) in
+  Linalg.Vec.normalize_l1 !x;
+  let y = ref (Linalg.Vec.create n) in
+  let sweeps = ref 0 in
+  let smooth count =
+    for _ = 1 to count do
+      Cdr_op.vec_mul_into ?pool op !x !y;
+      Linalg.Vec.normalize_l1 !y;
+      let tmp = !x in
+      x := !y;
+      y := tmp;
+      incr sweeps
+    done
+  in
+  (* within-block normalized aggregation weights of the current iterate *)
+  let weights = Linalg.Vec.create n in
+  let block_mass = Linalg.Vec.create n_coarse in
+  let compute_weights () =
+    Array.fill block_mass 0 n_coarse 0.0;
+    let xv = !x in
+    for i = 0 to n - 1 do
+      block_mass.(map.(i)) <- block_mass.(map.(i)) +. xv.(i)
+    done;
+    for bi = 0 to n_coarse - 1 do
+      let mass = block_mass.(bi) in
+      if mass > 0.0 && Float.is_finite mass then
+        List.iter (fun i -> weights.(i) <- xv.(i) /. mass) blocks.(bi)
+      else begin
+        (* a block the iterate has not reached yet: aggregate uniformly so
+           the coarse row stays stochastic *)
+        let u = 1.0 /. float_of_int (List.length blocks.(bi)) in
+        List.iter (fun i -> weights.(i) <- u) blocks.(bi)
+      end
+    done
+  in
+  let coarse_row bi emit =
+    List.iter
+      (fun i ->
+        let w = weights.(i) in
+        Cdr_op.iter_row op i (fun j v -> emit map.(j) (w *. v)))
+      blocks.(bi)
+  in
+  (* first cycle assembles the pattern; later cycles refill it in place *)
+  let pattern = ref None in
+  let build_coarse () =
+    compute_weights ();
+    match !pattern with
+    | None ->
+        let m0 = Sparse.Csr.assemble ?pool ~rows:n_coarse ~cols:n_coarse coarse_row in
+        pattern := Some m0;
+        m0
+    | Some m0 ->
+        let values = Array.make (Sparse.Csr.nnz m0) 0.0 in
+        let slots = coarse_slots n_coarse in
+        Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+            let lo = n_coarse * s / slots and hi = (n_coarse * (s + 1) / slots) - 1 in
+            for bi = lo to hi do
+              coarse_row bi (fun cj v ->
+                  let k = Sparse.Csr.row_index m0 bi cj in
+                  values.(k) <- values.(k) +. v)
+            done);
+        Sparse.Csr.refill m0 values
+  in
+  let coarse_setup = ref None in
+  let solve_coarse () =
+    let chain = Chain.of_csr (build_coarse ()) in
+    let setup =
+      match !coarse_setup with
+      | Some s when Multigrid.matches s chain -> s
+      | _ ->
+          let s = Multigrid.setup ~hierarchy chain in
+          coarse_setup := Some s;
+          s
+    in
+    let coarse_init = Partition.restrict partition !x in
+    Linalg.Vec.normalize_l1 coarse_init;
+    let sol, _ = Multigrid.solve_with ~tol ~init:coarse_init ?pool ?cancel setup chain in
+    (sol.Solution.pi, chain)
+  in
+  let cycles = ref 0 in
+  let coarse_nnz = ref 0 in
+  let residual_now () =
+    Cdr_op.vec_mul_into ?pool op !x !y;
+    Linalg.Vec.dist_l1 !y !x
+  in
+  let continue_ = ref (n > 0) in
+  while !continue_ && !cycles < max_cycles do
+    (match cancel with
+    | Some f when f () -> raise Multigrid.Cancelled
+    | _ -> ());
+    smooth pre_smooth;
+    let coarse_pi, coarse_chain = solve_coarse () in
+    coarse_nnz := Sparse.Csr.nnz (Chain.tpm coarse_chain);
+    let lifted = Partition.prolong partition ~coarse:coarse_pi ~weights:!x in
+    Linalg.Vec.normalize_l1 lifted;
+    Array.blit lifted 0 !x 0 n;
+    smooth post_smooth;
+    incr cycles;
+    let r = residual_now () in
+    (match trace with
+    | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual:r
+    | None -> ());
+    if r <= tol then continue_ := false
+  done;
+  let residual pi =
+    let out = Linalg.Vec.create n in
+    Cdr_op.vec_mul_into op pi out;
+    Linalg.Vec.dist_l1 out pi
+  in
+  let solution = Solution.make_residual ~residual ~pi:!x ~iterations:!cycles ~tol in
+  ( solution,
+    {
+      cycles = !cycles;
+      coarse_states = n_coarse;
+      coarse_nnz = !coarse_nnz;
+      smoothing_sweeps = !sweeps;
+    } )

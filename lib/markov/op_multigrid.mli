@@ -1,0 +1,55 @@
+(** Iterative aggregation/disaggregation with a matrix-free finest level.
+
+    The multilevel solver for operators that are never materialized: the
+    fine level is any {!Cdr_op.t} touched only through its action ([x * M])
+    and per-row entry enumerator, while the aggregated coarse chain — at
+    most half the fine dimension, the only CSR this solver builds — is
+    solved exactly by {!Multigrid} with the remaining hierarchy. Each outer
+    cycle: power-sweep pre-smoothing, weighted aggregation (block weights
+    from the smoothed iterate), coarse solve, {!Partition.prolong}
+    disaggregation, post-smoothing, fine residual test.
+
+    The aggregated sparsity pattern depends only on the operator structure
+    and the partition, so cycles after the first refill it in place
+    ([Sparse.Csr.refill]): the coarse chain keeps physically shared
+    structure arrays and one {!Multigrid.setup} serves the whole solve. *)
+
+type stats = {
+  cycles : int; (* outer IAD cycles performed *)
+  coarse_states : int;
+  coarse_nnz : int; (* nonzeros of the aggregated coarse TPM *)
+  smoothing_sweeps : int; (* fine-level power sweeps, pre + post *)
+}
+
+val default_hierarchy : n_coarse:int -> Partition.t list
+(** {!Multigrid.default_hierarchy} from the coarse dimension down to the
+    direct-solve size. *)
+
+val solve :
+  ?tol:float ->
+  ?max_cycles:int ->
+  ?pre_smooth:int ->
+  ?post_smooth:int ->
+  ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
+  ?cancel:(unit -> bool) ->
+  ?coarse_hierarchy:Partition.t list ->
+  partition:Partition.t ->
+  Cdr_op.t ->
+  Solution.t * stats
+(** Defaults: [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
+    [post_smooth = 2], [init = uniform], and
+    [coarse_hierarchy = default_hierarchy] (a hierarchy for the {e coarse}
+    chain: its first partition must cover [partition.n_coarse] states).
+    [partition] aggregates the fine operator. Raises [Invalid_argument]
+    when the partition does not cover the operator dimension.
+
+    [?pool] parallelizes the fine applies, the aggregation value pass (a
+    fixed coarse-row slot grid; rows write disjoint segments, entries
+    accumulate in emission order, so pooled and serial refills agree
+    bitwise) and the coarse V-cycles. [?cancel] is polled before every
+    outer cycle and inside the coarse solve; when it fires the solve
+    raises {!Multigrid.Cancelled} with all workspaces intact. With
+    [?trace], one sample per outer cycle recording the fine l1
+    stationarity residual the convergence test uses. *)

@@ -1,9 +1,12 @@
 type t = { pi : Linalg.Vec.t; iterations : int; residual : float; converged : bool }
 
-let make ~chain ~pi ~iterations ~tol =
+let make_residual ~residual ~pi ~iterations ~tol =
   Linalg.Vec.normalize_l1 pi;
-  let residual = Chain.residual chain pi in
-  { pi; iterations; residual; converged = residual <= tol }
+  let r = residual pi in
+  { pi; iterations; residual = r; converged = r <= tol }
+
+let make ~chain ~pi ~iterations ~tol =
+  make_residual ~residual:(fun pi -> Chain.residual chain pi) ~pi ~iterations ~tol
 
 let pp ppf t =
   Format.fprintf ppf "iterations=%d residual=%.3e converged=%b" t.iterations t.residual t.converged

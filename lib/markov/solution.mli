@@ -11,4 +11,11 @@ val make : chain:Chain.t -> pi:Linalg.Vec.t -> iterations:int -> tol:float -> t
 (** Normalizes [pi], measures the residual against [chain] and fills in the
     convergence flag. *)
 
+val make_residual :
+  residual:(Linalg.Vec.t -> float) -> pi:Linalg.Vec.t -> iterations:int -> tol:float -> t
+(** {!make} generalized over the residual measurement: normalizes [pi], then
+    calls [residual] on the normalized iterate. The hook the operator-backed
+    solvers use — they have no [Chain.t], only the operator's action.
+    [make ~chain] is [make_residual ~residual:(Chain.residual chain)]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -13,45 +13,33 @@ let denominators diag =
       if denom < 1e-300 then 1e-300 else denom)
     diag
 
-let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace ?pool chain =
-  (match method_ with
-  | Sor omega when omega <= 0.0 || omega >= 2.0 ->
-      invalid_arg "Splitting.solve: SOR omega must lie in (0, 2)"
-  | Jacobi | Gauss_seidel | Sor _ -> ());
-  let pt = Sparse.Csr.transpose (Chain.tpm chain) in
-  let diag = diagonal pt in
+(* Damped Jacobi over any operator. The method needs only the diagonal and
+   the P^T x product, both of which every backend supplies; with the CSR
+   backend this is the historical transpose-then-row-dot path, bitwise. *)
+let solve_op ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace ?pool op =
+  let n = Cdr_op.dim op in
+  let diag = Cdr_op.diag op in
   let denom = denominators diag in
-  let n = Chain.n_states chain in
-  let x = match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain in
+  let x =
+    match init with
+    | Some v -> Linalg.Vec.copy v
+    | None -> Array.make n (1.0 /. float_of_int n)
+  in
   Linalg.Vec.normalize_l1 x;
   let prev = Linalg.Vec.create n in
   let iterations = ref 0 in
   let continue_ = ref (n > 0) in
   while !continue_ && !iterations < max_iter do
     Array.blit x 0 prev 0 n;
-    (match method_ with
-    | Jacobi ->
-        (* y = P^T x computed against the frozen previous iterate; the sweep
-           is damped by 1/2 because pure Jacobi has iteration-matrix spectrum
-           touching -1 on periodic chains (it oscillates instead of
-           converging); damping maps the spectrum into the unit disk *)
-        let y = Sparse.Csr.mul_vec ?pool pt prev in
-        for i = 0 to n - 1 do
-          let jacobi_value = (y.(i) -. (diag.(i) *. prev.(i))) /. denom.(i) in
-          x.(i) <- 0.5 *. (prev.(i) +. jacobi_value)
-        done
-    | Gauss_seidel ->
-        for i = 0 to n - 1 do
-          let acc = ref 0.0 in
-          Sparse.Csr.iter_row pt i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
-          x.(i) <- !acc /. denom.(i)
-        done
-    | Sor omega ->
-        for i = 0 to n - 1 do
-          let acc = ref 0.0 in
-          Sparse.Csr.iter_row pt i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
-          x.(i) <- ((1.0 -. omega) *. x.(i)) +. (omega *. !acc /. denom.(i))
-        done);
+    (* y = P^T x computed against the frozen previous iterate; the sweep
+       is damped by 1/2 because pure Jacobi has iteration-matrix spectrum
+       touching -1 on periodic chains (it oscillates instead of
+       converging); damping maps the spectrum into the unit disk *)
+    let y = Cdr_op.mul_vec ?pool op prev in
+    for i = 0 to n - 1 do
+      let jacobi_value = (y.(i) -. (diag.(i) *. prev.(i))) /. denom.(i) in
+      x.(i) <- 0.5 *. (prev.(i) +. jacobi_value)
+    done;
     Linalg.Vec.normalize_l1 x;
     incr iterations;
     let diff = Linalg.Vec.dist_l1 x prev in
@@ -60,7 +48,54 @@ let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace ?pool chain
     | None -> ());
     if diff <= tol then continue_ := false
   done;
-  Solution.make ~chain ~pi:x ~iterations:!iterations ~tol
+  let residual pi =
+    let y = Linalg.Vec.create n in
+    Cdr_op.vec_mul_into op pi y;
+    Linalg.Vec.dist_l1 y pi
+  in
+  Solution.make_residual ~residual ~pi:x ~iterations:!iterations ~tol
+
+let solve ~method_ ?(tol = 1e-12) ?(max_iter = 100_000) ?init ?trace ?pool chain =
+  match method_ with
+  | Sor omega when omega <= 0.0 || omega >= 2.0 ->
+      invalid_arg "Splitting.solve: SOR omega must lie in (0, 2)"
+  | Jacobi ->
+      solve_op ~tol ~max_iter ?init ?trace ?pool (Cdr_op.Csr_backend.create (Chain.tpm chain))
+  | Gauss_seidel | Sor _ ->
+      let pt = Sparse.Csr.transpose (Chain.tpm chain) in
+      let diag = diagonal pt in
+      let denom = denominators diag in
+      let n = Chain.n_states chain in
+      let x = match init with Some v -> Linalg.Vec.copy v | None -> Chain.uniform chain in
+      Linalg.Vec.normalize_l1 x;
+      let prev = Linalg.Vec.create n in
+      let iterations = ref 0 in
+      let continue_ = ref (n > 0) in
+      while !continue_ && !iterations < max_iter do
+        Array.blit x 0 prev 0 n;
+        (match method_ with
+        | Jacobi -> assert false
+        | Gauss_seidel ->
+            for i = 0 to n - 1 do
+              let acc = ref 0.0 in
+              Sparse.Csr.iter_row pt i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
+              x.(i) <- !acc /. denom.(i)
+            done
+        | Sor omega ->
+            for i = 0 to n - 1 do
+              let acc = ref 0.0 in
+              Sparse.Csr.iter_row pt i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
+              x.(i) <- ((1.0 -. omega) *. x.(i)) +. (omega *. !acc /. denom.(i))
+            done);
+        Linalg.Vec.normalize_l1 x;
+        incr iterations;
+        let diff = Linalg.Vec.dist_l1 x prev in
+        (match trace with
+        | Some t -> Cdr_obs.Trace.record t ~iter:!iterations ~residual:diff
+        | None -> ());
+        if diff <= tol then continue_ := false
+      done;
+      Solution.make ~chain ~pi:x ~iterations:!iterations ~tol
 
 let sweeps_gauss_seidel ~transposed x n_sweeps =
   let n = Linalg.Vec.dim x in

@@ -14,6 +14,21 @@ type method_ = Jacobi | Gauss_seidel | Sor of float
 (** [Jacobi] is damped by 1/2 (pure Jacobi oscillates on periodic chains);
     [Sor omega] requires [0 < omega < 2]. *)
 
+val solve_op :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
+  Cdr_op.t ->
+  Solution.t
+(** Damped Jacobi against any {!Cdr_op.t}: the only splitting that needs no
+    per-row access to the transpose, just the diagonal and the [P^T x]
+    product — so it works matrix-free. With a CSR backend this reproduces
+    [solve ~method_:Jacobi] bitwise (same lazily-built transpose, same row
+    dots); [solve ~method_:Jacobi] is routed through here. Gauss-Seidel and
+    SOR read individual transpose rows mid-sweep and stay CSR-only. *)
+
 val solve :
   method_:method_ ->
   ?tol:float ->

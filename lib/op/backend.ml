@@ -1,0 +1,32 @@
+(* The operator record every backend fills in. A record of closures rather
+   than a first-class module: call sites only ever consume the operations,
+   and closures let each backend capture exactly the private state it needs
+   (a lazily materialized transpose, a reusable Kronecker workspace) without
+   leaking it into the interface. *)
+
+type kind = [ `Csr | `Kron ]
+
+let kind_string = function `Csr -> "csr" | `Kron -> "kron"
+
+let kind_of_string = function
+  | "csr" -> Some `Csr
+  | "kron" -> Some `Kron
+  | _ -> None
+
+type t = {
+  dim : int;
+  kind : kind;
+  label : string;
+  nnz_estimate : int;
+      (* stored nonzeros for CSR; the materialization bound for Kronecker *)
+  vec_mul_into : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> Linalg.Vec.t -> unit;
+      (* y <- x * M, the row-vector kernel of power iteration and smoothing *)
+  mul_vec : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> Linalg.Vec.t;
+      (* M^T x as a column vector — numerically equal to x * M, but routed so
+         the CSR backend reproduces the splitting solvers' historical
+         transpose-row-dot path bitwise *)
+  diag : unit -> Linalg.Vec.t;
+  row_sums : unit -> Linalg.Vec.t;
+  iter_row : int -> (int -> float -> unit) -> unit;
+  to_csr : unit -> Sparse.Csr.t;
+}

@@ -1,0 +1,24 @@
+(** The shared operator representation backends fill in.
+
+    Internal to the [cdr_op] library: external consumers go through
+    {!Cdr_op}, which re-exports this type abstractly together with its
+    accessors. *)
+
+type kind = [ `Csr | `Kron ]
+
+val kind_string : kind -> string
+
+val kind_of_string : string -> kind option
+
+type t = {
+  dim : int;
+  kind : kind;
+  label : string;
+  nnz_estimate : int;
+  vec_mul_into : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  mul_vec : ?pool:Cdr_par.Pool.t -> Linalg.Vec.t -> Linalg.Vec.t;
+  diag : unit -> Linalg.Vec.t;
+  row_sums : unit -> Linalg.Vec.t;
+  iter_row : int -> (int -> float -> unit) -> unit;
+  to_csr : unit -> Sparse.Csr.t;
+}

@@ -1,0 +1,43 @@
+type kind = Backend.kind
+
+let kind_string = Backend.kind_string
+let kind_of_string = Backend.kind_of_string
+
+type t = Backend.t
+
+module Csr_backend = Csr_backend
+module Kron_backend = Kron_backend
+
+let dim (op : t) = op.Backend.dim
+let kind (op : t) = op.Backend.kind
+let label (op : t) = op.Backend.label
+let nnz_estimate (op : t) = op.Backend.nnz_estimate
+let vec_mul_into ?pool (op : t) x y = op.Backend.vec_mul_into ?pool x y
+let mul_vec ?pool (op : t) x = op.Backend.mul_vec ?pool x
+let diag (op : t) = op.Backend.diag ()
+let row_sums (op : t) = op.Backend.row_sums ()
+let iter_row (op : t) i emit = op.Backend.iter_row i emit
+
+let iter_entries (op : t) emit =
+  for i = 0 to dim op - 1 do
+    iter_row op i (fun j v -> emit i j v)
+  done
+
+let to_csr (op : t) = op.Backend.to_csr ()
+
+let check_stochastic ?(tol = 1e-9) (op : t) =
+  let sums = row_sums op in
+  let worst = ref 0.0 and worst_row = ref (-1) in
+  Array.iteri
+    (fun i s ->
+      let d = abs_float (s -. 1.0) in
+      if d > !worst then begin
+        worst := d;
+        worst_row := i
+      end)
+    sums;
+  if !worst > tol then
+    Error
+      (Printf.sprintf "row %d sums to %.17g (deviation %.3g exceeds %.3g)" !worst_row
+         sums.(!worst_row) !worst tol)
+  else Ok ()

@@ -1,0 +1,29 @@
+open Sparse
+
+(* Wraps an existing CSR transition matrix as an operator. Every operation
+   routes to the exact kernel the solvers called before the abstraction
+   existed, so results are bitwise identical to the historical paths:
+
+   - [vec_mul_into] is [Csr.vec_mul_into] on the wrapped matrix;
+   - [mul_vec] materializes the transpose lazily (once per operator, the
+     way [Splitting.solve] built it once per solve) and row-dots it with
+     [Csr.mul_vec];
+   - [diag] reads exact stored entries via binary search. *)
+let create m =
+  if Csr.rows m <> Csr.cols m then invalid_arg "Cdr_op.Csr_backend.create: matrix must be square";
+  let n = Csr.rows m in
+  let transposed = lazy (Csr.transpose m) in
+  let diagonal = lazy (Array.init n (fun i -> Csr.get m i i)) in
+  let sums = lazy (Csr.row_sums m) in
+  {
+    Backend.dim = n;
+    kind = `Csr;
+    label = Printf.sprintf "csr[%d states, %d nnz]" n (Csr.nnz m);
+    nnz_estimate = Csr.nnz m;
+    vec_mul_into = (fun ?pool x y -> Csr.vec_mul_into ?pool x m y);
+    mul_vec = (fun ?pool x -> Csr.mul_vec ?pool (Lazy.force transposed) x);
+    diag = (fun () -> Lazy.force diagonal);
+    row_sums = (fun () -> Lazy.force sums);
+    iter_row = (fun i emit -> Csr.iter_row m i emit);
+    to_csr = (fun () -> m);
+  }

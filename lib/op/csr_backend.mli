@@ -1,0 +1,8 @@
+(** CSR operator backend: wraps a materialized matrix, bitwise-identical to
+    the pre-abstraction solver paths. Internal; consumers use
+    [Cdr_op.Csr_backend]. *)
+
+val create : Sparse.Csr.t -> Backend.t
+(** Raises [Invalid_argument] when the matrix is not square. The matrix is
+    captured by reference; the transpose (for {!Backend.t.mul_vec}) and the
+    diagonal are materialized lazily, at most once per operator. *)

@@ -1,0 +1,41 @@
+open Sparse
+
+(* Matrix-free backend over a sum of Kronecker terms. The operator owns one
+   reusable [Kron_op.workspace] (two length-n ping-pong buffers, built on
+   first apply), so repeated applications — the entire inner loop of a
+   stationary solve — allocate nothing. That also means one operator value
+   must not be applied from two domains at once; the solvers apply
+   sequentially and parallelize *inside* the apply via [?pool].
+
+   [mul_vec] (the splitting solvers' M^T x kernel) reuses x * M: the two are
+   the same vector by definition, computed here with the shuffle algorithm's
+   float-summation order rather than transpose-row-dot order — backends
+   agree to solver tolerance, not bitwise (see DESIGN.md). *)
+let create ?label op =
+  let n = Kron_op.dim op in
+  let ws = lazy (Kron_op.workspace op) in
+  let diagonal = lazy (Kron_op.diag op) in
+  let sums = lazy (Kron_op.row_sums op) in
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        Printf.sprintf "kron[%d states, %d terms, nnz<=%d]" n (Kron_op.n_terms op)
+          (Kron_op.nnz_bound op)
+  in
+  {
+    Backend.dim = n;
+    kind = `Kron;
+    label;
+    nnz_estimate = Kron_op.nnz_bound op;
+    vec_mul_into = (fun ?pool x y -> Kron_op.apply_into ?pool op ~ws:(Lazy.force ws) x y);
+    mul_vec =
+      (fun ?pool x ->
+        let y = Array.make n 0.0 in
+        Kron_op.apply_into ?pool op ~ws:(Lazy.force ws) x y;
+        y);
+    diag = (fun () -> Lazy.force diagonal);
+    row_sums = (fun () -> Lazy.force sums);
+    iter_row = (fun i emit -> Kron_op.iter_row op i emit);
+    to_csr = (fun () -> Kron_op.to_csr op);
+  }

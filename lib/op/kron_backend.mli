@@ -1,0 +1,9 @@
+(** Kronecker operator backend: matrix-free applies over a sum of Kronecker
+    terms, never materializing the product. Internal; consumers use
+    [Cdr_op.Kron_backend]. *)
+
+val create : ?label:string -> Sparse.Kron_op.t -> Backend.t
+(** The operator owns one reusable apply workspace (two length-[dim]
+    buffers), so applications allocate nothing after the first; consequently
+    a single operator value must only be applied from one domain at a time.
+    [?label] overrides the derived description shown in reports. *)

@@ -1,4 +1,4 @@
-type term = { coeff : float; factors : Csr.t list }
+type term = { coeff : float; factors : Csr.t array; dims : int array }
 
 type t = { n : int; terms : term list }
 
@@ -7,72 +7,231 @@ let term ?(coeff = 1.0) factors =
   List.iter
     (fun f -> if Csr.rows f <> Csr.cols f then invalid_arg "Kron_op.term: factors must be square")
     factors;
-  let n = List.fold_left (fun acc f -> acc * Csr.rows f) 1 factors in
-  { n; terms = [ { coeff; factors } ] }
+  let factors = Array.of_list factors in
+  let dims = Array.map Csr.rows factors in
+  let n = Array.fold_left ( * ) 1 dims in
+  { n; terms = [ { coeff; factors; dims } ] }
 
+(* Flat concatenation of the term lists: O(total terms), unlike the former
+   per-operand [acc.terms @ op.terms] left fold that re-walked the growing
+   accumulator for every operand. *)
 let sum = function
   | [] -> invalid_arg "Kron_op.sum: empty list"
-  | first :: rest ->
-      List.fold_left
-        (fun acc op ->
-          if op.n <> acc.n then invalid_arg "Kron_op.sum: dimension mismatch";
-          { acc with terms = acc.terms @ op.terms })
-        first rest
+  | first :: _ as ops ->
+      List.iter
+        (fun op -> if op.n <> first.n then invalid_arg "Kron_op.sum: dimension mismatch")
+        ops;
+      { n = first.n; terms = List.concat_map (fun op -> op.terms) ops }
 
 let dim op = op.n
 
+let n_terms op = List.length op.terms
+
+let nnz_bound op =
+  List.fold_left
+    (fun acc t -> acc + Array.fold_left (fun p f -> p * Csr.nnz f) 1 t.factors)
+    0 op.terms
+
+(* Fixed slot grid for one middle contraction, a function of the operand
+   shapes only (never of the pool's job count) — the same discipline as
+   [Csr.par_slot_count], so pooled and serial runs execute the identical
+   slot schedule. Small contractions stay serial; otherwise parallelize the
+   outer [l] blocks (disjoint contiguous output segments), falling back to
+   chunks of the trailing [r] dimension when the term has no left blocks. *)
+let middle_slots ~l ~r a =
+  let work = l * r * Csr.nnz a in
+  if work < 16384 then 1
+  else if l >= 2 then min 16 l
+  else min 16 (max 1 (r / 64))
+
 (* x * (I_l (x) A (x) I_r): view x as an (l, n, r) tensor and contract the
-   middle index against A's rows. *)
-let apply_middle ~l ~r a x y =
+   middle index against A's rows. [y] is fully overwritten. Every output
+   element accumulates its contributions in the same (row, entry) order on
+   every slot layout, so results are bit-identical across job counts. *)
+let apply_middle ?pool ~l ~r a x y =
   let n = Csr.rows a in
   Array.fill y 0 (Array.length y) 0.0;
-  for i = 0 to n - 1 do
-    Csr.iter_row a i (fun j v ->
-        for blk = 0 to l - 1 do
-          let x_base = ((blk * n) + i) * r in
-          let y_base = ((blk * n) + j) * r in
-          for c = 0 to r - 1 do
-            y.(y_base + c) <- y.(y_base + c) +. (x.(x_base + c) *. v)
-          done
+  let slots = middle_slots ~l ~r a in
+  if slots = 1 then
+    for i = 0 to n - 1 do
+      Csr.iter_row a i (fun j v ->
+          for blk = 0 to l - 1 do
+            let x_base = ((blk * n) + i) * r in
+            let y_base = ((blk * n) + j) * r in
+            for c = 0 to r - 1 do
+              y.(y_base + c) <- y.(y_base + c) +. (x.(x_base + c) *. v)
+            done
+          done)
+    done
+  else if l >= 2 then
+    (* Slot [s] owns the contiguous block range [blk_lo, blk_hi): its writes
+       land in y[blk_lo*n*r .. blk_hi*n*r), disjoint from every other slot. *)
+    Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+        let blk_lo = l * s / slots and blk_hi = l * (s + 1) / slots in
+        for i = 0 to n - 1 do
+          Csr.iter_row a i (fun j v ->
+              for blk = blk_lo to blk_hi - 1 do
+                let x_base = ((blk * n) + i) * r in
+                let y_base = ((blk * n) + j) * r in
+                for c = 0 to r - 1 do
+                  y.(y_base + c) <- y.(y_base + c) +. (x.(x_base + c) *. v)
+                done
+              done)
         done)
-  done
+  else
+    (* l = 1: chunk the trailing dimension. Slot [s] owns columns
+       [c_lo, c_hi) of every row block — still element-disjoint. *)
+    Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+        let c_lo = r * s / slots and c_hi = r * (s + 1) / slots in
+        for i = 0 to n - 1 do
+          Csr.iter_row a i (fun j v ->
+              let x_base = i * r in
+              let y_base = j * r in
+              for c = c_lo to c_hi - 1 do
+                y.(y_base + c) <- y.(y_base + c) +. (x.(x_base + c) *. v)
+              done)
+        done)
 
-let apply_term t x =
-  let sizes = List.map Csr.rows t.factors in
-  let total = List.fold_left ( * ) 1 sizes in
-  if Array.length x <> total then invalid_arg "Kron_op.apply: dimension mismatch";
-  let cur = ref (Array.copy x) in
-  let scratch = ref (Array.make total 0.0) in
-  let left = ref 1 in
-  let right = ref total in
-  List.iter
+(* Reusable ping-pong buffers for the factor sweep: one [apply_into] needs
+   exactly two length-n scratch vectors regardless of the number of factors
+   or terms, so callers allocate once per solve, not once per iteration. *)
+type workspace = { buf_a : Linalg.Vec.t; buf_b : Linalg.Vec.t }
+
+let workspace op = { buf_a = Array.make op.n 0.0; buf_b = Array.make op.n 0.0 }
+
+(* Applies one term's factor chain, returning whichever workspace buffer
+   holds x * (A_1 (x) ... (x) A_k). The coefficient is NOT applied here —
+   the caller fuses it into its accumulation pass. *)
+let apply_term_into ?pool t ~ws x =
+  let total = Array.fold_left ( * ) 1 t.dims in
+  Array.blit x 0 ws.buf_a 0 total;
+  let cur = ref ws.buf_a and scratch = ref ws.buf_b in
+  let left = ref 1 and right = ref total in
+  Array.iter
     (fun a ->
       let n = Csr.rows a in
       right := !right / n;
-      apply_middle ~l:!left ~r:!right a !cur !scratch;
+      apply_middle ?pool ~l:!left ~r:!right a !cur !scratch;
       let tmp = !cur in
       cur := !scratch;
       scratch := tmp;
       left := !left * n)
     t.factors;
-  if t.coeff <> 1.0 then Linalg.Vec.scale_in_place t.coeff !cur;
   !cur
 
-let apply op x =
-  match op.terms with
-  | [] -> invalid_arg "Kron_op.apply: empty operator"
-  | first :: rest ->
-      let acc = apply_term first x in
-      List.iter
-        (fun t ->
-          let y = apply_term t x in
-          Linalg.Vec.axpy ~alpha:1.0 ~x:y ~y:acc)
-        rest;
-      acc
+let apply_into ?pool op ~ws x y =
+  if Array.length x <> op.n then invalid_arg "Kron_op.apply_into: dimension mismatch";
+  if Array.length y <> op.n then invalid_arg "Kron_op.apply_into: output dimension mismatch";
+  if Array.length ws.buf_a <> op.n then invalid_arg "Kron_op.apply_into: workspace dimension";
+  Array.fill y 0 op.n 0.0;
+  List.iter
+    (fun t ->
+      let res = apply_term_into ?pool t ~ws x in
+      let c = t.coeff in
+      if c = 1.0 then
+        for idx = 0 to op.n - 1 do
+          y.(idx) <- y.(idx) +. res.(idx)
+        done
+      else
+        for idx = 0 to op.n - 1 do
+          y.(idx) <- y.(idx) +. (c *. res.(idx))
+        done)
+    op.terms
+
+let apply ?pool op x =
+  if op.terms = [] then invalid_arg "Kron_op.apply: empty operator";
+  let ws = workspace op in
+  let y = Array.make op.n 0.0 in
+  apply_into ?pool op ~ws x y;
+  y
+
+(* Row sums without an apply: the row sum of coeff * A_1 (x) ... (x) A_k at
+   the mixed-radix row (i_1, .., i_k) is coeff * prod_f rowsum_f(i_f), so we
+   expand the per-factor row-sum vectors as a rank-1 tensor, term by term. *)
+let row_sums op =
+  let out = Array.make op.n 0.0 in
+  List.iter
+    (fun t ->
+      let acc = ref [| t.coeff |] in
+      Array.iter
+        (fun a ->
+          let rs = Csr.row_sums a in
+          let m = Array.length rs in
+          let prev = !acc in
+          let np = Array.length prev in
+          let next = Array.make (np * m) 0.0 in
+          for b = 0 to np - 1 do
+            let base = b * m in
+            let pv = prev.(b) in
+            for i = 0 to m - 1 do
+              next.(base + i) <- pv *. rs.(i)
+            done
+          done;
+          acc := next)
+        t.factors;
+      let tv = !acc in
+      for i = 0 to op.n - 1 do
+        out.(i) <- out.(i) +. tv.(i)
+      done)
+    op.terms;
+  out
+
+let diag op =
+  let out = Array.make op.n 0.0 in
+  List.iter
+    (fun t ->
+      let k = Array.length t.dims in
+      let idx = Array.make k 0 in
+      for i = 0 to op.n - 1 do
+        let rem = ref i in
+        for f = k - 1 downto 0 do
+          idx.(f) <- !rem mod t.dims.(f);
+          rem := !rem / t.dims.(f)
+        done;
+        let p = ref t.coeff in
+        (try
+           for f = 0 to k - 1 do
+             let v = Csr.get t.factors.(f) idx.(f) idx.(f) in
+             if v = 0.0 then raise_notrace Exit;
+             p := !p *. v
+           done;
+           out.(i) <- out.(i) +. !p
+         with Exit -> ())
+      done)
+    op.terms;
+  out
+
+(* Entries of one global row, term by term; within a term, the lexicographic
+   cross product of the factor-row entries. Duplicate columns (across terms,
+   or from coinciding factor products) are emitted separately — consumers
+   like [Csr.assemble] sum them in emission order. *)
+let iter_row op i emit =
+  List.iter
+    (fun t ->
+      let k = Array.length t.dims in
+      let idx = Array.make k 0 in
+      let rem = ref i in
+      for f = k - 1 downto 0 do
+        idx.(f) <- !rem mod t.dims.(f);
+        rem := !rem / t.dims.(f)
+      done;
+      let rec go f col acc =
+        if f = k then emit col acc
+        else
+          Csr.iter_row t.factors.(f) idx.(f) (fun j v ->
+              go (f + 1) ((col * t.dims.(f)) + j) (acc *. v))
+      in
+      go 0 0 t.coeff)
+    op.terms
+
+let iter_entries op emit =
+  for i = 0 to op.n - 1 do
+    iter_row op i (fun j v -> emit i j v)
+  done
 
 let to_csr op =
   let materialize_term t =
-    let k = Kron.product_list t.factors in
+    let k = Kron.product_list (Array.to_list t.factors) in
     Csr.map (fun v -> t.coeff *. v) k
   in
   match op.terms with
@@ -80,34 +239,41 @@ let to_csr op =
   | first :: rest ->
       List.fold_left (fun acc t -> Csr.add acc (materialize_term t)) (materialize_term first) rest
 
-let stationary ?(tol = 1e-12) ?(max_iter = 100_000) op =
+let stationary ?pool ?(tol = 1e-12) ?(max_iter = 100_000) op =
   let n = dim op in
   if n = 0 then Error "empty operator"
   else begin
-    (* stochasticity check through one application to the all-ones vector:
-       row sums of M are (M 1)^T; we only have x -> x M, so check 1 M = 1^T
-       is wrong (that is column sums). Instead apply to basis-free test:
-       row sums via the transpose trick is unavailable matrix-free, so check
-       that the all-ones *row* vector is preserved under the transpose
-       operator... we settle for checking mass preservation of a probe
-       distribution, which for non-negative operators characterizes row
-       sums 1 on the reachable support. *)
-    let probe = Array.make n (1.0 /. float_of_int n) in
-    let image = apply op probe in
-    if Array.exists (fun v -> v < -1e-12) image then Error "operator has negative entries"
-    else if abs_float (Linalg.Vec.sum image -. 1.0) > 1e-6 then
-      Error "operator does not preserve probability mass (not row-stochastic)"
+    (* Exact row-sum check via the per-factor row-sum tensor: unlike a probe
+       application this verifies stochasticity row by row, matrix-free. *)
+    let rs = row_sums op in
+    let max_dev = ref 0.0 in
+    Array.iter
+      (fun s ->
+        let d = abs_float (s -. 1.0) in
+        if d > !max_dev then max_dev := d)
+      rs;
+    if !max_dev > 1e-6 then Error "operator is not row-stochastic (row sums deviate from 1)"
     else begin
-      let x = ref probe in
-      let iterations = ref 0 in
-      let residual = ref Float.infinity in
-      while !residual > tol && !iterations < max_iter do
-        let y = apply op !x in
-        Linalg.Vec.normalize_l1 y;
-        residual := Linalg.Vec.dist_l1 y !x;
-        x := y;
-        incr iterations
-      done;
-      Ok (!x, !iterations, !residual)
+      let ws = workspace op in
+      let x = ref (Array.make n (1.0 /. float_of_int n)) in
+      let y = ref (Array.make n 0.0) in
+      let neg = ref false in
+      apply_into ?pool op ~ws !x !y;
+      Array.iter (fun v -> if v < -1e-12 then neg := true) !y;
+      if !neg then Error "operator has negative entries"
+      else begin
+        let iterations = ref 0 in
+        let residual = ref Float.infinity in
+        while !residual > tol && !iterations < max_iter do
+          apply_into ?pool op ~ws !x !y;
+          Linalg.Vec.normalize_l1 !y;
+          residual := Linalg.Vec.dist_l1 !y !x;
+          let tmp = !x in
+          x := !y;
+          y := tmp;
+          incr iterations
+        done;
+        Ok (!x, !iterations, !residual)
+      end
     end
   end

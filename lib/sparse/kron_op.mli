@@ -10,27 +10,76 @@
     stochastic automata networks (Plateau). *)
 
 type t
-(** A sum of scaled Kronecker terms, all with the same product dimensions. *)
+(** A sum of scaled Kronecker terms, all with the same product dimension. *)
 
 val term : ?coeff:float -> Csr.t list -> t
 (** One Kronecker term [coeff * A_1 (x) ... (x) A_k]. All factors must be
     square; raises [Invalid_argument] otherwise or on the empty list. *)
 
 val sum : t list -> t
-(** Raises [Invalid_argument] on dimension mismatch or the empty list. *)
+(** Concatenates the operands' term lists in order; O(total terms). Raises
+    [Invalid_argument] on dimension mismatch or the empty list. *)
 
 val dim : t -> int
 
-val apply : t -> Linalg.Vec.t -> Linalg.Vec.t
-(** [apply op x = x * M] where [M] is the represented matrix. *)
+val n_terms : t -> int
+
+val nnz_bound : t -> int
+(** Upper bound on the nonzero count of the materialized matrix:
+    [sum over terms of prod_f nnz(A_f)]. Exact when no cancellation or
+    column collision occurs; the basis of the "CSR bytes this operator
+    avoids" estimate reported by the scaling bench. *)
+
+type workspace
+(** Two reusable length-[dim] ping-pong buffers for the factor sweep. One
+    workspace serves any number of [apply_into] calls on the operator it was
+    built for (sequentially — a workspace is not domain-safe); solvers
+    allocate one per solve instead of two vectors per iteration. *)
+
+val workspace : t -> workspace
+
+val apply_into : ?pool:Cdr_par.Pool.t -> t -> ws:workspace -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+(** [apply_into op ~ws x y] stores [x * M] into [y], where [M] is the
+    represented matrix. Allocation-free: all intermediates live in [ws].
+    [x] and [y] must not alias each other or the workspace buffers. With
+    [?pool] each middle contraction is parallelized over a fixed slot grid
+    (a function of the operand shapes only, never the job count): slots own
+    disjoint output segments and every element accumulates its contributions
+    in the serial order, so pooled results are bit-identical to serial ones
+    for any job count — the same discipline as [Csr.vec_mul_into]. *)
+
+val apply : ?pool:Cdr_par.Pool.t -> t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [apply op x = x * M]; allocates a fresh workspace and result (use
+    {!apply_into} in iteration loops). *)
+
+val row_sums : t -> Linalg.Vec.t
+(** Exact row sums without applying the operator: the Kronecker row sum
+    factorizes as the tensor product of per-factor row-sum vectors. *)
+
+val diag : t -> Linalg.Vec.t
+(** The main diagonal, [sum over terms of coeff * prod_f A_f.(i_f).(i_f)]. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row op i emit] enumerates the entries of global row [i]: terms in
+    order, and within a term the lexicographic cross product of factor-row
+    entries. Duplicate columns are emitted separately (consumers such as
+    [Csr.assemble] sum them in emission order). Safe to call concurrently
+    from several domains. *)
+
+val iter_entries : t -> (int -> int -> float -> unit) -> unit
+(** {!iter_row} over every row in ascending order. *)
 
 val to_csr : t -> Csr.t
 (** Materialize (for tests and small operators). *)
 
 val stationary :
-  ?tol:float -> ?max_iter:int -> t -> (Linalg.Vec.t * int * float, string) result
+  ?pool:Cdr_par.Pool.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  t ->
+  (Linalg.Vec.t * int * float, string) result
 (** Power iteration directly on the matrix-free operator: the stationary
     distribution of a chain whose TPM is the represented matrix, without
     storing it. Returns [(pi, iterations, residual)], or [Error] when the
-    operator is not stochastic (row sums must be 1) or iteration fails to
-    converge. *)
+    operator is not row-stochastic (checked exactly via {!row_sums}) or has
+    negative entries. *)

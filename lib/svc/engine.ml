@@ -17,6 +17,12 @@ type job = {
   reply : Cdr_obs.Jsonl.t -> unit;
 }
 
+(* a request whose parameters are well-formed but name a combination this
+   engine cannot serve (matrix-free backend on a CSR-only kind or solver);
+   caught in [handle] and mapped to [`Bad_request] — the client mistake
+   channel, never [`Internal] *)
+exception Unsupported of string
+
 let get_model t params config =
   let key = Params.model_key params in
   let model =
@@ -128,9 +134,53 @@ let stats_payload t =
           ] );
     ]
 
+(* Analyze on the matrix-free backend: same response shape as the CSR path,
+   solved through {!Cdr.Kron_model} (full product space, never materialized).
+   The model is rebuilt per request — factor matrices are a few KB, the build
+   is O(grid) table work — so no refill cache is involved. *)
+let run_analyze_kron ~ctx p config =
+  let solver =
+    match p.Params.solver with
+    | `Multigrid -> `Multigrid
+    | `Power -> `Power
+    | `Gauss_seidel ->
+        raise (Unsupported "solver \"gauss-seidel\" has no matrix-free path; use backend=csr")
+  in
+  let model = Cdr.Kron_model.build config in
+  let (sol, degraded), solve_seconds =
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () ->
+        with_degraded_retry ctx (fun ctx -> ((), Cdr.Kron_model.solve ~solver ~ctx model))
+        |> fun (((), sol), degraded) -> (sol, degraded))
+  in
+  let pi = sol.Markov.Solution.pi in
+  let rho = Cdr.Kron_model.phase_marginal model ~pi in
+  let ber = Cdr.Ber.of_marginal config ~rho in
+  let mtbf = Cdr.Kron_model.mean_time_between_slips model ~pi in
+  ( Cdr_obs.Jsonl.Obj
+      [
+        ("ber", num ber);
+        ("size", int_num (Cdr.Kron_model.n_states model));
+        ("iterations", int_num sol.Markov.Solution.iterations);
+        ("solve_seconds", num solve_seconds);
+        ("mean_bits_between_slips", num mtbf);
+      ],
+    degraded )
+
+let reject_kron kind =
+  raise
+    (Unsupported
+       (Printf.sprintf
+          "request kind %S requires the csr backend (first-passage/sweep machinery runs on the \
+           materialized chain); use backend=csr"
+          kind))
+
 let run_kind t ~ctx req config =
   let p = req.Protocol.params in
   match req.Protocol.kind with
+  | Protocol.Analyze when p.Params.backend = `Kron -> run_analyze_kron ~ctx p config
+  | Protocol.Slip when p.Params.backend = `Kron -> reject_kron "slip"
+  | Protocol.Sweep _ when p.Params.backend = `Kron -> reject_kron "sweep"
+  | Protocol.Sigma _ when p.Params.backend = `Kron -> reject_kron "sigma"
   | Protocol.Analyze ->
       let model = get_model t p config in
       let (report, sol), degraded =
@@ -253,7 +303,8 @@ let handle t job =
             in
             let ctx =
               Cdr.Context.make ?pool:t.pool ~cache:t.cache
-                ~smoother:req.Protocol.params.Params.smoother ?cancel ()
+                ~smoother:req.Protocol.params.Params.smoother
+                ~backend:req.Protocol.params.Params.backend ?cancel ()
             in
             (* attribute this request's setup-cache traffic to its structure
                key for the labeled solver_cache.* series *)
@@ -274,6 +325,7 @@ let handle t job =
                      ~cache_misses:(Cdr.Solver_cache.misses t.cache - misses0)
                      ~elapsed_ms:((Cdr_obs.Clock.monotonic () -. started) *. 1e3)
                      payload)
+            | exception Unsupported msg -> fail `Bad_request msg
             | exception Markov.Multigrid.Cancelled ->
                 fail `Timeout "deadline exceeded during solve"
             | exception exn -> fail `Internal (Printexc.to_string exn)))

@@ -11,6 +11,7 @@ type t = {
   p_transition : float;
   solver : solver;
   smoother : Markov.Multigrid.smoother;
+  backend : Cdr_op.kind;
 }
 
 (* the grid/phases/counter/sigma/max_run defaults are Config.default's (the
@@ -28,6 +29,7 @@ let default =
     p_transition = 0.5;
     solver = `Multigrid;
     smoother = `Lex;
+    backend = `Csr;
   }
 
 let to_config p =
@@ -60,6 +62,10 @@ let string_of_solver = function
 let smoother_of_string = function "lex" -> Some `Lex | "colored" -> Some `Colored | _ -> None
 
 let string_of_smoother = function `Lex -> "lex" | `Colored -> "colored"
+
+let backend_of_string = Cdr_op.kind_of_string
+
+let string_of_backend = Cdr_op.kind_string
 
 (* ---------- JSON codec ---------- *)
 
@@ -120,6 +126,9 @@ let of_json ?(defaults = default) json =
           | "smoother" ->
               let* x = enum_field key smoother_of_string v in
               Ok { p with smoother = x }
+          | "backend" ->
+              let* x = enum_field key backend_of_string v in
+              Ok { p with backend = x }
           | other -> Error (Printf.sprintf "unknown parameter field %S" other))
         (Ok defaults) fields
   | _ -> Error "\"params\" must be a JSON object"
@@ -137,11 +146,12 @@ let to_json p =
       ("p_transition", Num p.p_transition);
       ("solver", Str (string_of_solver p.solver));
       ("smoother", Str (string_of_smoother p.smoother));
+      ("backend", Str (string_of_backend p.backend));
     ]
 
 let model_key p =
   Printf.sprintf "g%d.ph%d.k%d.dr%d.run%d" p.grid p.phases p.counter p.drift_max p.max_run
 
 let structure_key p =
-  Printf.sprintf "%s.%s.%s" (model_key p) (string_of_solver p.solver)
-    (string_of_smoother p.smoother)
+  Printf.sprintf "%s.%s.%s.%s" (model_key p) (string_of_solver p.solver)
+    (string_of_smoother p.smoother) (string_of_backend p.backend)

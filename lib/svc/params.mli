@@ -22,6 +22,10 @@ type t = {
   p_transition : float;  (** per-bit data transition probability *)
   solver : solver;
   smoother : Markov.Multigrid.smoother;
+  backend : Cdr_op.kind;
+      (** operator representation the solve runs on: [`Csr] (default) or the
+          matrix-free [`Kron]. Request kinds with no matrix-free path reject
+          [`Kron] with [bad_request] instead of falling back. *)
 }
 
 val default : t
@@ -38,6 +42,9 @@ val string_of_solver : solver -> string
 val smoother_of_string : string -> Markov.Multigrid.smoother option
 val string_of_smoother : Markov.Multigrid.smoother -> string
 
+val backend_of_string : string -> Cdr_op.kind option
+val string_of_backend : Cdr_op.kind -> string
+
 val of_json : ?defaults:t -> Cdr_obs.Jsonl.t -> (t, string) result
 (** Decode a ["params"] object: every field optional (missing fields come
     from [defaults], default {!default}), [Null] meaning "all defaults".
@@ -51,8 +58,8 @@ val to_json : t -> Cdr_obs.Jsonl.t
 val structure_key : t -> string
 (** Batching key: equal for two parameter sets exactly when their chains
     share state space and solver machinery — the state-space fields ([grid],
-    [phases], [counter], [drift_max], [max_run]) plus [solver] and
-    [smoother] (a multigrid setup is keyed on the smoother too). The noise
+    [phases], [counter], [drift_max], [max_run]) plus [solver], [smoother]
+    (a multigrid setup is keyed on the smoother too) and [backend]. The noise
     fields ([sigma_w], [drift_mean], [p_transition]) are deliberately
     excluded: those are the deltas {!Cdr.Model.rebuild} turns into in-place
     refills. *)

@@ -51,7 +51,24 @@ let test_params_keys () =
   check_bool "smoother is part of the structure key" true
     (Cdr_svc.Params.structure_key p <> Cdr_svc.Params.structure_key s);
   check_string "smoother does not split the model key" (Cdr_svc.Params.model_key p)
-    (Cdr_svc.Params.model_key s)
+    (Cdr_svc.Params.model_key s);
+  let k = { p with Cdr_svc.Params.backend = `Kron } in
+  check_bool "backend is part of the structure key" true
+    (Cdr_svc.Params.structure_key p <> Cdr_svc.Params.structure_key k);
+  check_string "backend does not split the model key" (Cdr_svc.Params.model_key p)
+    (Cdr_svc.Params.model_key k)
+
+let test_params_backend_codec () =
+  let p = { tiny_params with Cdr_svc.Params.backend = `Kron } in
+  (match Cdr_svc.Params.of_json (Cdr_svc.Params.to_json p) with
+  | Error msg -> Alcotest.failf "kron roundtrip rejected: %s" msg
+  | Ok p' -> check_bool "backend survives the roundtrip" true (p = p'));
+  match
+    Cdr_svc.Params.of_json
+      (Cdr_obs.Jsonl.Obj [ ("backend", Cdr_obs.Jsonl.Str "dense") ])
+  with
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+  | Error msg -> check_bool "message mentions the value" true (String.length msg > 0)
 
 (* ---------- Protocol.parse_request ---------- *)
 
@@ -229,6 +246,69 @@ let test_engine_bad_config () =
       check_string "bad_request code" "bad_request" (error_code r)
   | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs)
 
+let kron_params = { tiny_params with Cdr_svc.Params.backend = `Kron }
+
+let test_engine_kron_analyze () =
+  let engine = Cdr_svc.Engine.create () in
+  let reply, replies = reply_capture () in
+  let submit id params =
+    Cdr_svc.Engine.handle engine
+      {
+        Cdr_svc.Engine.request = analyze_req ~id ~params ();
+        deadline = None;
+        admitted = Cdr_obs.Clock.monotonic ();
+        reply;
+      }
+  in
+  submit "kron" kron_params;
+  submit "csr" tiny_params;
+  match replies () with
+  | [ kron; csr ] ->
+      check_bool "kron analyze served" true (is_ok kron);
+      check_bool "csr analyze served" true (is_ok csr);
+      let num name r =
+        match Cdr_obs.Jsonl.member name (field "result" r) with
+        | Some (Cdr_obs.Jsonl.Num v) -> v
+        | _ -> Alcotest.failf "result lacks %S" name
+      in
+      (* same response shape as the csr path, BER at solver tolerance *)
+      check_bool "ber agrees across backends" true
+        (Float.abs (num "ber" kron -. num "ber" csr)
+         /. Float.max (num "ber" csr) 1e-300
+        < 1e-6);
+      check_bool "kron solves the full product space" true
+        (num "size" kron >= num "size" csr);
+      check_bool "kron reports slips" true (num "mean_bits_between_slips" kron > 0.0)
+  | rs -> Alcotest.failf "expected 2 replies, got %d" (List.length rs)
+
+let test_engine_kron_unsupported_kinds () =
+  let engine = Cdr_svc.Engine.create () in
+  let reply, replies = reply_capture () in
+  let submit id kind =
+    Cdr_svc.Engine.handle engine
+      {
+        Cdr_svc.Engine.request =
+          { (analyze_req ~id ~params:kron_params ()) with Cdr_svc.Protocol.kind };
+        deadline = None;
+        admitted = Cdr_obs.Clock.monotonic ();
+        reply;
+      }
+  in
+  submit "slip" Cdr_svc.Protocol.Slip;
+  submit "sweep" (Cdr_svc.Protocol.Sweep Cdr_svc.Protocol.default_lengths);
+  submit "sigma" (Cdr_svc.Protocol.Sigma [ 0.05 ]);
+  (* a client mistake, not an engine failure: the engine keeps serving *)
+  submit "after" Cdr_svc.Protocol.Analyze;
+  match replies () with
+  | [ slip; sweep; sigma; after ] ->
+      List.iter
+        (fun r ->
+          check_bool "rejected" false (is_ok r);
+          check_string "bad_request code" "bad_request" (error_code r))
+        [ slip; sweep; sigma ];
+      check_bool "engine still serves kron analyze" true (is_ok after)
+  | rs -> Alcotest.failf "expected 4 replies, got %d" (List.length rs)
+
 (* ---------- Stats round-trip ---------- *)
 
 (* A "stats" request parses off the wire, flows through Engine.handle like a
@@ -343,6 +423,7 @@ let () =
         [
           Alcotest.test_case "json roundtrip" `Quick test_params_roundtrip;
           Alcotest.test_case "unknown field rejected" `Quick test_params_unknown_field;
+          Alcotest.test_case "backend codec" `Quick test_params_backend_codec;
           Alcotest.test_case "structure and model keys" `Quick test_params_keys;
         ] );
       ( "protocol",
@@ -359,6 +440,9 @@ let () =
           Alcotest.test_case "same-structure batch hits cache" `Quick
             test_engine_batch_cache_hits;
           Alcotest.test_case "invalid config is bad_request" `Quick test_engine_bad_config;
+          Alcotest.test_case "kron analyze matches csr" `Quick test_engine_kron_analyze;
+          Alcotest.test_case "kron-unsupported kinds are bad_request" `Quick
+            test_engine_kron_unsupported_kinds;
           Alcotest.test_case "stats round-trip" `Quick test_engine_stats_roundtrip;
         ] );
       ( "cache",
