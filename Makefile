@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron serve-smoke bench-load load-smoke clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron bench-ladder serve-smoke bench-load load-smoke clean
 
 all: build
 
@@ -35,19 +35,23 @@ bench-telemetry:
 # times), the job count and the smoother choice, written to BENCH.json
 # (path overridable via CDR_BENCH_JSON).
 bench-json:
-	dune exec bench/main.exe -- smoke telemetry parallel warm kernels
+	dune exec bench/main.exe -- smoke telemetry parallel scaling warm kernels
 
-# CI bench smoke: run only the tiny deterministic section and assert its
-# metric counter deltas from the JSON — builds, solves, rebuilds and cache
-# hits/misses are exact integers; wall seconds are never asserted.
+# CI bench smoke: the tiny deterministic section plus the MG-SCALING gate.
+# Counter deltas are exact integers and wall seconds are never asserted —
+# except the one scaling regression this PR exists to prevent: mg.speedup_j4
+# must clear 1.0 (or 0.9 on a single-core host, where the multi-worker pool
+# can only be asked to cost nothing); the section folds that policy into the
+# mg.speedup_j4_ok gauge, so the guard greps a boolean, not a float.
 bench-smoke:
-	CDR_BENCH_JSON=/tmp/bench.json dune exec bench/main.exe -- smoke
+	CDR_BENCH_JSON=/tmp/bench.json dune exec bench/main.exe -- smoke scaling
 	grep -q '"model.builds{via=direct}":1' /tmp/bench.json
 	grep -q '"model.solves{solver=multigrid}":3' /tmp/bench.json
 	grep -q '"model.rebuilds{pattern=reused}":1' /tmp/bench.json
 	grep -q '"solver_cache.hits":2' /tmp/bench.json
 	grep -q '"solver_cache.misses":1' /tmp/bench.json
-	@echo "bench smoke: all counter deltas as expected"
+	grep -q '"mg.speedup_j4_ok":1' /tmp/bench.json
+	@echo "bench smoke: counter deltas and the jobs=4 scaling gate as expected"
 
 # CI kron smoke: the matrix-free backend solving a 208,896-state chain that
 # was never materialized, asserted structurally from the JSON (state count,
@@ -69,6 +73,13 @@ kron-smoke: build
 # in BENCH.json (path overridable via CDR_BENCH_JSON).
 bench-kron:
 	dune exec bench/main.exe -- kron
+
+# The MG-LADDER: W-cycle multigrid solves on one model family at grids
+# 128..1056 (65k to just past 1e6 reachable states), asserting near-grid-
+# independent cycle counts (top rung within 2x of the bottom rung's).
+# Takes minutes; gauges land in BENCH.json (path via CDR_BENCH_JSON).
+bench-ladder:
+	dune exec bench/main.exe -- ladder
 
 # End-to-end serving smoke: a canned mixed JSONL session through cdr_serve's
 # stdio mode (every request kind plus malformed input), then deterministic

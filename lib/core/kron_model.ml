@@ -45,6 +45,7 @@ type t = {
   n_counter : int;
   m : int;
   build_seconds : float;
+  mutable iad : Markov.Op_multigrid.setup option;
 }
 
 let detector_outputs = [ Phase_detector.Lead; Phase_detector.Null; Phase_detector.Lag ]
@@ -151,6 +152,7 @@ let build cfg =
       n_counter;
       m;
       build_seconds = 0.0;
+      iad = None;
     }
   in
   Cdr_obs.Metrics.incr "model.builds" ~labels:[ ("via", "kron") ];
@@ -229,9 +231,19 @@ let solve ?(solver = `Power) ?(ctx = Context.default) t =
              run the IAD cycle through *)
           Markov.Power.solve_op ~tol ?init ?trace ?pool t.op
       | partition :: coarse_hierarchy ->
+          (* the IAD setup (partition arrays, workspaces, aggregated coarse
+             pattern) depends only on the model's structure: prepare once,
+             reuse for every solve against this model *)
+          let setup =
+            match t.iad with
+            | Some s when Markov.Op_multigrid.matches s t.op -> s
+            | _ ->
+                let s = Markov.Op_multigrid.prepare ~coarse_hierarchy ~partition t.op in
+                t.iad <- Some s;
+                s
+          in
           let solution, _stats =
-            Markov.Op_multigrid.solve ~tol ?init ?trace ?pool ?cancel ~coarse_hierarchy
-              ~partition t.op
+            Markov.Op_multigrid.solve_with ~tol ?init ?trace ?pool ?cancel setup t.op
           in
           solution)
 

@@ -25,6 +25,11 @@ type t = {
   n_counter : int;
   m : int; (* phase grid points *)
   build_seconds : float;
+  mutable iad : Markov.Op_multigrid.setup option;
+      (* memoized IAD solver state (partition, coarse hierarchy, workspaces,
+         aggregated pattern): the first [`Multigrid] solve prepares it, every
+         later solve on this model reuses it — repeated service queries pay
+         the symbolic cost once. Owned by the model: one solve at a time. *)
 }
 
 val build : Config.t -> t

@@ -352,6 +352,148 @@ let scatter_transpose ?pool pat values trans_values =
         trans_values.(pat.trans_perm.(k)) <- values.(k)
       done)
 
+(* ---- fused/packed cycle kernels ---------------------------------------
+   The default ([fuse = true]) execution of the V-cycle interior. Three
+   transformations, each bitwise-neutral by construction, with the unfused
+   functions above kept as the pinned reference:
+
+   - {e packed storage}: each smoothing level mirrors its transposed pattern
+     into int32 Bigarray columns and float64 Bigarray values. The sweeps
+     read the same entries in the same order (only the load width and the
+     bounds checks change), so every float operation is unchanged.
+   - {e aggregate+restrict fusion}: [restrict_iterate] recomputes exactly
+     the per-block sums [aggregate] already stored in [block_weight] — both
+     walk [bw_states] ascending over the same iterate — so under fusion the
+     restriction is a copy of [block_weight] and one pooled leg disappears.
+   - {e block-weight+row fusion}: aggregate's two batches become one. Coarse
+     row [i] reads only [block_weight.(i)], which its own slot computes
+     first, so per-row fusion preserves the serial accumulation order.
+
+   Scatter-into-smooth is deliberately NOT fused: inverting the permutation
+   would turn each sweep's sequential value reads into gathers repeated
+   [pre+post] times per cycle, costing more than the one barrier it saves
+   (see DESIGN.md on the dispatch-cost model). *)
+
+type packed_level = {
+  tcol32 : (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  tvals : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+}
+
+let pack_trans pat =
+  let nnz = Array.length pat.trans_col_idx in
+  let tcol32 = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout nnz in
+  for k = 0 to nnz - 1 do
+    Bigarray.Array1.unsafe_set tcol32 k (Int32.of_int pat.trans_col_idx.(k))
+  done;
+  { tcol32; tvals = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout nnz }
+
+let scatter_transpose_packed ?pool pat values pk =
+  let nnz = Array.length values in
+  let slots = slot_count nnz in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      let tvals = pk.tvals in
+      for k = s * nnz / slots to (((s + 1) * nnz / slots) - 1) do
+        Bigarray.Array1.unsafe_set tvals
+          (Array.unsafe_get pat.trans_perm k)
+          (Array.unsafe_get values k)
+      done)
+
+let gauss_seidel_sweeps_packed pat pk x sweeps =
+  let n = pat.n in
+  let tcol32 = pk.tcol32 and tvals = pk.tvals in
+  let trp = pat.trans_row_ptr in
+  for _ = 1 to sweeps do
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 and self = ref 0.0 in
+      for k = trp.(i) to trp.(i + 1) - 1 do
+        let j = Int32.to_int (Bigarray.Array1.unsafe_get tcol32 k) in
+        let v = Bigarray.Array1.unsafe_get tvals k in
+        if j = i then self := v else acc := !acc +. (v *. Array.unsafe_get x j)
+      done;
+      let denom = 1.0 -. !self in
+      Array.unsafe_set x i (if denom < 1e-300 then Array.unsafe_get x i else !acc /. denom)
+    done;
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. Array.unsafe_get x i
+    done;
+    if !s > 0.0 then
+      for i = 0 to n - 1 do
+        Array.unsafe_set x i (Array.unsafe_get x i /. !s)
+      done
+  done
+
+let colored_gauss_seidel_sweeps_packed ?pool pat coloring pk x sweeps ~color_seconds =
+  let n = pat.n in
+  let tcol32 = pk.tcol32 and tvals = pk.tvals in
+  let trp = pat.trans_row_ptr in
+  for _ = 1 to sweeps do
+    for c = 0 to coloring.n_colors - 1 do
+      let t0 = Cdr_obs.Clock.monotonic () in
+      let lo = coloring.color_ptr.(c) in
+      let count = coloring.color_ptr.(c + 1) - lo in
+      let slots = slot_count count in
+      Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+          for idx = lo + (s * count / slots) to lo + (((s + 1) * count / slots) - 1) do
+            let i = Array.unsafe_get coloring.color_rows idx in
+            let acc = ref 0.0 and self = ref 0.0 in
+            for k = trp.(i) to trp.(i + 1) - 1 do
+              let j = Int32.to_int (Bigarray.Array1.unsafe_get tcol32 k) in
+              let v = Bigarray.Array1.unsafe_get tvals k in
+              if j = i then self := v else acc := !acc +. (v *. Array.unsafe_get x j)
+            done;
+            let denom = 1.0 -. !self in
+            Array.unsafe_set x i (if denom < 1e-300 then Array.unsafe_get x i else !acc /. denom)
+          done);
+      color_seconds.(c) <- color_seconds.(c) +. (Cdr_obs.Clock.monotonic () -. t0)
+    done;
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. Array.unsafe_get x i
+    done;
+    if !s > 0.0 then
+      for i = 0 to n - 1 do
+        Array.unsafe_set x i (Array.unsafe_get x i /. !s)
+      done
+  done
+
+(* [aggregate] with the block-weight pass fused into the per-row pass: one
+   pooled batch instead of two. Row [i]'s weight is computed by the same
+   ascending [bw_states] walk immediately before the row's entries, so the
+   stored bits match the two-pass version exactly. *)
+let aggregate_fused ?pool level ~fine_values ~weights ~coarse_values ~block_weight =
+  let partition = level.partition in
+  let nc = partition.Partition.n_coarse in
+  let slots = slot_count nc in
+  Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
+      for i = s * nc / slots to (((s + 1) * nc / slots) - 1) do
+        let acc = ref 0.0 in
+        for idx = level.bw_ptr.(i) to level.bw_ptr.(i + 1) - 1 do
+          acc := !acc +. weights.(level.bw_states.(idx))
+        done;
+        let bw = !acc in
+        block_weight.(i) <- bw;
+        let k_lo = level.coarse.row_ptr.(i) and k_hi = level.coarse.row_ptr.(i + 1) - 1 in
+        for k = k_lo to k_hi do
+          coarse_values.(k) <- 0.0
+        done;
+        let w_uniform = 1.0 /. float_of_int level.block_sizes.(i) in
+        for idx = level.agg_ptr.(i) to level.agg_ptr.(i + 1) - 1 do
+          let k = level.agg_entries.(idx) in
+          let fi = level.fine_row.(k) in
+          let w = if bw > 0.0 then weights.(fi) /. bw else w_uniform in
+          coarse_values.(level.target.(k)) <- coarse_values.(level.target.(k)) +. (w *. fine_values.(k))
+        done;
+        let sum = ref 0.0 in
+        for k = k_lo to k_hi do
+          sum := !sum +. coarse_values.(k)
+        done;
+        if !sum > 0.0 then
+          for k = k_lo to k_hi do
+            coarse_values.(k) <- coarse_values.(k) /. !sum
+          done
+      done)
+
 (* Per-level workspace allocated once. *)
 type workspace = {
   level : level option; (* None at the coarsest *)
@@ -362,6 +504,7 @@ type workspace = {
   pat : pattern;
   coloring : coloring option; (* Some iff the setup smoother is [`Colored] *)
   color_seconds : float array; (* |colors| scratch for the sweep metric *)
+  packed : packed_level option; (* Some on smoothing levels; fused-path mirror *)
 }
 
 (* Everything a V-cycle needs that depends on the sparsity structure alone:
@@ -415,6 +558,7 @@ let setup ?(smoother = `Lex) ~hierarchy chain =
               pat;
               coloring = None;
               color_seconds = [||];
+              packed = None; (* the coarsest level never smooths *)
             };
           ]
       | (level : level) :: rest ->
@@ -432,6 +576,7 @@ let setup ?(smoother = `Lex) ~hierarchy chain =
               (match coloring with
               | Some c -> Array.make (max c.n_colors 1) 0.0
               | None -> [||]);
+            packed = Some (pack_trans pat);
           }
           :: build level.coarse coarse_values rest
     in
@@ -456,10 +601,11 @@ let matches s chain =
   && (m.Sparse.Csr.row_ptr == s.ref_row_ptr || m.Sparse.Csr.row_ptr = s.ref_row_ptr)
   && (m.Sparse.Csr.col_idx == s.ref_col_idx || m.Sparse.Csr.col_idx = s.ref_col_idx)
 
-let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init
-    ?trace ?pool ?cancel s chain =
+let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2)
+    ?(cycle = `V) ?(fuse = true) ?init ?trace ?pool ?cancel s chain =
   if not (matches s chain) then
     invalid_arg "Multigrid.solve_with: chain sparsity pattern does not match the setup";
+  let gamma = match cycle with `V -> 1 | `W -> 2 in
   let n = s.setup_n in
   let workspaces = s.workspaces in
   let fine_csr = Chain.tpm chain in
@@ -477,17 +623,29 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
   (* one smoothing call: lex or colored per the setup, timed per level (and
      per color for the colored smoother) into multigrid.sweep_seconds *)
   let smooth ws l sweeps =
-    (match ws.coloring with
-    | None ->
+    let pk = if fuse then ws.packed else None in
+    (match (ws.coloring, pk) with
+    | None, None ->
         let t0 = Cdr_obs.Clock.monotonic () in
         gauss_seidel_sweeps ws.pat ws.trans_values ws.x sweeps;
         Cdr_obs.Metrics.observe "multigrid.sweep_seconds"
           ~labels:[ ("level", string_of_int l); ("color", "lex") ]
           (Cdr_obs.Clock.monotonic () -. t0)
-    | Some coloring ->
+    | None, Some pk ->
+        let t0 = Cdr_obs.Clock.monotonic () in
+        gauss_seidel_sweeps_packed ws.pat pk ws.x sweeps;
+        Cdr_obs.Metrics.observe "multigrid.sweep_seconds"
+          ~labels:[ ("level", string_of_int l); ("color", "lex") ]
+          (Cdr_obs.Clock.monotonic () -. t0)
+    | Some coloring, pk ->
         Array.fill ws.color_seconds 0 (Array.length ws.color_seconds) 0.0;
-        colored_gauss_seidel_sweeps ?pool ws.pat coloring ws.trans_values ws.x sweeps
-          ~color_seconds:ws.color_seconds;
+        (match pk with
+        | Some pk ->
+            colored_gauss_seidel_sweeps_packed ?pool ws.pat coloring pk ws.x sweeps
+              ~color_seconds:ws.color_seconds
+        | None ->
+            colored_gauss_seidel_sweeps ?pool ws.pat coloring ws.trans_values ws.x sweeps
+              ~color_seconds:ws.color_seconds);
         for c = 0 to coloring.n_colors - 1 do
           Cdr_obs.Metrics.observe "multigrid.sweep_seconds"
             ~labels:[ ("level", string_of_int l); ("color", string_of_int c) ]
@@ -519,14 +677,35 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
     if l = n_levels - 1 then phase "coarsest" solve_coarsest
     else begin
       let level = Option.get ws.level in
-      phase "scatter" (fun () -> scatter_transpose ?pool ws.pat ws.values ws.trans_values);
+      (match (if fuse then ws.packed else None) with
+      | Some pk -> phase "scatter" (fun () -> scatter_transpose_packed ?pool ws.pat ws.values pk)
+      | None -> phase "scatter" (fun () -> scatter_transpose ?pool ws.pat ws.values ws.trans_values));
       phase "smooth" (fun () -> smooth ws l pre_smooth);
       let next = workspaces.(l + 1) in
-      phase "aggregate" (fun () ->
-          aggregate ?pool level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
-            ~block_weight:ws.block_weight);
-      phase "restrict" (fun () -> restrict_iterate ?pool level ~fine:ws.x ~coarse:next.x);
+      if fuse then begin
+        phase "aggregate" (fun () ->
+            aggregate_fused ?pool level ~fine_values:ws.values ~weights:ws.x
+              ~coarse_values:next.values ~block_weight:ws.block_weight);
+        (* restriction = the block weights aggregate just computed (same
+           ascending sums over the same iterate): a copy, not a pooled leg *)
+        phase "restrict" (fun () ->
+            Array.blit ws.block_weight 0 next.x 0 level.partition.Partition.n_coarse)
+      end
+      else begin
+        phase "aggregate" (fun () ->
+            aggregate ?pool level ~fine_values:ws.values ~weights:ws.x ~coarse_values:next.values
+              ~block_weight:ws.block_weight);
+        phase "restrict" (fun () -> restrict_iterate ?pool level ~fine:ws.x ~coarse:next.x)
+      end;
       cycle (l + 1);
+      (* W-cycles ([gamma = 2]) revisit the coarse hierarchy below the finest
+         level: the second recursion re-aggregates level l+1 with the coarse
+         iterate the first one improved, which is what keeps the cycle count
+         near-constant as pairwise aggregation deepens the hierarchy (plain
+         V-cycles with piecewise-constant transfers degrade with depth). The
+         coarsest level is exact — revisiting it would recompute the same GTH
+         solution — so the extra visit stops one level above it. *)
+      if gamma > 1 && l > 0 && l + 1 < n_levels - 1 then cycle (l + 1);
       (* multiplicative prolongation using the pre-recursion block weights *)
       phase "prolong" (fun () ->
           prolong_iterate ?pool level ~coarse:next.x ~block_weight:ws.block_weight ~x:ws.x;
@@ -547,18 +726,25 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
      hook never interrupts a half-updated workspace mid-cycle (the next
      [solve_with] against this setup overwrites every workspace anyway) *)
   let cancelled () = match cancel with Some f -> f () | None -> false in
-  while !continue_ && !cycles < max_cycles do
-    if cancelled () then raise Cancelled;
-    cycle 0;
-    incr cycles;
-    let residual =
-      Cdr_par.Pool.with_phase "residual" (fun () -> Chain.residual ?pool chain x0)
-    in
-    (match trace with
-    | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual
-    | None -> ());
-    if residual <= tol then continue_ := false
-  done;
+  let run_cycles () =
+    while !continue_ && !cycles < max_cycles do
+      if cancelled () then raise Cancelled;
+      cycle 0;
+      incr cycles;
+      let residual =
+        Cdr_par.Pool.with_phase "residual" (fun () -> Chain.residual ?pool chain x0)
+      in
+      (match trace with
+      | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual
+      | None -> ());
+      if residual <= tol then continue_ := false
+    done
+  in
+  (* under fusion the whole cycle loop runs inside one phase region: the
+     pool's team is assembled once per solve, and every batch a leg issues
+     (per color, per sweep, per level) is an epoch dispatch instead of a
+     mutex fan-out — the fix for one-fan-out-per-sweep negative scaling *)
+  if fuse then Cdr_par.Pool.run_phases pool run_cycles else run_cycles ();
   let solution = Solution.make ~chain ~pi:(Array.copy x0) ~iterations:!cycles ~tol in
   ( solution,
     {
@@ -568,7 +754,7 @@ let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smoot
       smoothing_sweeps = !smoothing_sweeps;
     } )
 
-let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ?cancel ?smoother
-    ~hierarchy chain =
-  solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?init ?trace ?pool ?cancel
+let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?cycle ?fuse ?init ?trace ?pool ?cancel
+    ?smoother ~hierarchy chain =
+  solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?cycle ?fuse ?init ?trace ?pool ?cancel
     (setup ?smoother ~hierarchy chain) chain

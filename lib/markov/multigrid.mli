@@ -82,6 +82,8 @@ val solve_with :
   ?max_cycles:int ->
   ?pre_smooth:int ->
   ?post_smooth:int ->
+  ?cycle:[ `V | `W ] ->
+  ?fuse:bool ->
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
@@ -99,13 +101,38 @@ val solve_with :
     already-expired deadline costs no cycle at all); when it returns [true]
     the solve raises {!Cancelled}. This is the cooperative-cancellation
     device of the serving layer: a deadline check costs one closure call per
-    cycle and can never observe a half-updated workspace. *)
+    cycle and can never observe a half-updated workspace.
+
+    [?cycle] (default [`V]) selects the recursion shape. [`V] visits each
+    coarse level once per cycle — the pinned reference, bit-identical to
+    every previous release. [`W] visits the hierarchy below the finest level
+    twice per cycle (the second recursion re-aggregates with the coarse
+    iterate the first improved; the exactly-solved coarsest level is never
+    revisited). Pairwise aggregation with piecewise-constant transfers loses
+    per-cycle convergence speed as the hierarchy deepens, so [`V] cycle
+    counts grow with the grid; [`W] restores near-grid-independent counts at
+    roughly [levels/2]x the per-cycle cost — the right trade on the very
+    large ladder chains (see the MG-LADDER bench section).
+
+    [?fuse] (default [true]) selects the fused/packed execution of the
+    cycle interior: the whole cycle loop runs inside one
+    {!Cdr_par.Pool.run_phases} region (the pool's team is enlisted once per
+    solve instead of one fan-out per sweep/color), smoothing reads
+    int32/Bigarray mirrors of the transposed values, aggregation computes
+    block weights and coarse rows in a single pooled batch, and iterate
+    restriction becomes a copy of those block weights (it is the same
+    ascending per-block sum over the same iterate). Every transformation
+    preserves the float operations and their order, so [fuse:true] and
+    [fuse:false] produce bit-identical results at every job count;
+    [fuse:false] is the pinned reference path. *)
 
 val solve :
   ?tol:float ->
   ?max_cycles:int ->
   ?pre_smooth:int ->
   ?post_smooth:int ->
+  ?cycle:[ `V | `W ] ->
+  ?fuse:bool ->
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->

@@ -20,7 +20,12 @@
    partition only, so the first cycle's [Csr.assemble] result is refilled in
    place on every later cycle: the coarse chain keeps physically shared
    structure arrays, [Multigrid.matches] stays O(1), and one coarse setup
-   serves the whole solve. *)
+   serves the whole solve.
+
+   All of that state — iterate/weight vectors, the assembled pattern, the
+   refill buffer, the coarse Multigrid setup — lives in a reusable [setup]
+   ([prepare] + [solve_with]), so a service answering repeated queries
+   against one operator structure reallocates nothing per request. *)
 
 type stats = {
   cycles : int;
@@ -37,34 +42,79 @@ let default_hierarchy ~n_coarse =
    order, so pooled refills are bit-identical to serial ones. *)
 let coarse_slots n_coarse = min 16 (max 1 (n_coarse / 64))
 
-let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2) ?init ?trace
-    ?pool ?cancel ?coarse_hierarchy ~partition op =
+(* Everything a solve needs beyond the operator values: the partition and
+   coarse hierarchy, preallocated iterate/weight vectors, and — once the
+   first cycle has run — the aggregated pattern, its refill buffer and the
+   coarse {!Multigrid.setup}. Owns mutable workspaces: one solve at a time. *)
+type setup = {
+  s_n : int;
+  s_partition : Partition.t;
+  s_hierarchy : Partition.t list;
+  s_blocks : int list array;
+  s_x : Linalg.Vec.t;
+  s_y : Linalg.Vec.t;
+  s_weights : Linalg.Vec.t;
+  s_block_mass : Linalg.Vec.t;
+  mutable s_pattern : Sparse.Csr.t option;
+  mutable s_values : Linalg.Vec.t; (* refill buffer, reused across cycles *)
+  mutable s_coarse_setup : Multigrid.setup option;
+}
+
+let prepare ?coarse_hierarchy ~partition op =
   let n = Cdr_op.dim op in
   if partition.Partition.n_fine <> n then
-    invalid_arg "Op_multigrid.solve: partition does not match the operator dimension";
+    invalid_arg "Op_multigrid.prepare: partition does not match the operator dimension";
   let n_coarse = partition.Partition.n_coarse in
   let hierarchy =
     match coarse_hierarchy with Some h -> h | None -> default_hierarchy ~n_coarse
   in
+  {
+    s_n = n;
+    s_partition = partition;
+    s_hierarchy = hierarchy;
+    s_blocks = Partition.blocks partition;
+    s_x = Linalg.Vec.create n;
+    s_y = Linalg.Vec.create n;
+    s_weights = Linalg.Vec.create n;
+    s_block_mass = Linalg.Vec.create n_coarse;
+    s_pattern = None;
+    s_values = [||];
+    s_coarse_setup = None;
+  }
+
+let matches s op = Cdr_op.dim op = s.s_n
+
+let solve_with ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2)
+    ?(fuse = true) ?init ?trace ?pool ?cancel s op =
+  if not (matches s op) then
+    invalid_arg "Op_multigrid.solve_with: operator dimension does not match the setup";
+  let n = s.s_n in
+  let partition = s.s_partition in
+  let n_coarse = partition.Partition.n_coarse in
   let map = partition.Partition.map in
-  let blocks = Partition.blocks partition in
-  let x = ref (match init with Some v -> Linalg.Vec.copy v | None -> Array.make n (1.0 /. float_of_int n)) in
-  Linalg.Vec.normalize_l1 !x;
-  let y = ref (Linalg.Vec.create n) in
+  let blocks = s.s_blocks in
+  (match init with
+  | Some v -> Array.blit v 0 s.s_x 0 n
+  | None -> Array.fill s.s_x 0 n (1.0 /. float_of_int n));
+  Linalg.Vec.normalize_l1 s.s_x;
+  let x = ref s.s_x in
+  let y = ref s.s_y in
   let sweeps = ref 0 in
+  let phase name f = Cdr_par.Pool.with_phase ~labels:[ ("solver", "iad") ] name f in
   let smooth count =
-    for _ = 1 to count do
-      Cdr_op.vec_mul_into ?pool op !x !y;
-      Linalg.Vec.normalize_l1 !y;
-      let tmp = !x in
-      x := !y;
-      y := tmp;
-      incr sweeps
-    done
+    phase "smooth" (fun () ->
+        for _ = 1 to count do
+          Cdr_op.vec_mul_into ?pool op !x !y;
+          Linalg.Vec.normalize_l1 !y;
+          let tmp = !x in
+          x := !y;
+          y := tmp;
+          incr sweeps
+        done)
   in
   (* within-block normalized aggregation weights of the current iterate *)
-  let weights = Linalg.Vec.create n in
-  let block_mass = Linalg.Vec.create n_coarse in
+  let weights = s.s_weights in
+  let block_mass = s.s_block_mass in
   let compute_weights () =
     Array.fill block_mass 0 n_coarse 0.0;
     let xv = !x in
@@ -90,20 +140,23 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
         Cdr_op.iter_row op i (fun j v -> emit map.(j) (w *. v)))
       blocks.(bi)
   in
-  (* first cycle assembles the pattern; later cycles refill it in place *)
-  let pattern = ref None in
+  (* the first cycle of the first solve assembles the pattern; every later
+     cycle refills the hoisted value buffer in place — no per-cycle (or
+     per-request) allocation *)
   let build_coarse () =
     compute_weights ();
-    match !pattern with
+    match s.s_pattern with
     | None ->
         let m0 = Sparse.Csr.assemble ?pool ~rows:n_coarse ~cols:n_coarse coarse_row in
-        pattern := Some m0;
+        s.s_pattern <- Some m0;
+        s.s_values <- Array.make (Sparse.Csr.nnz m0) 0.0;
         m0
     | Some m0 ->
-        let values = Array.make (Sparse.Csr.nnz m0) 0.0 in
+        let values = s.s_values in
+        Array.fill values 0 (Array.length values) 0.0;
         let slots = coarse_slots n_coarse in
-        Cdr_par.Pool.run_slots_opt pool ~slots (fun s ->
-            let lo = n_coarse * s / slots and hi = (n_coarse * (s + 1) / slots) - 1 in
+        Cdr_par.Pool.run_slots_opt pool ~slots (fun sl ->
+            let lo = n_coarse * sl / slots and hi = (n_coarse * (sl + 1) / slots) - 1 in
             for bi = lo to hi do
               coarse_row bi (fun cj v ->
                   let k = Sparse.Csr.row_index m0 bi cj in
@@ -111,53 +164,60 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
             done);
         Sparse.Csr.refill m0 values
   in
-  let coarse_setup = ref None in
   let solve_coarse () =
-    let chain = Chain.of_csr (build_coarse ()) in
+    let chain = Chain.of_csr (phase "aggregate" build_coarse) in
     let setup =
-      match !coarse_setup with
-      | Some s when Multigrid.matches s chain -> s
+      match s.s_coarse_setup with
+      | Some cs when Multigrid.matches cs chain -> cs
       | _ ->
-          let s = Multigrid.setup ~hierarchy chain in
-          coarse_setup := Some s;
-          s
+          let cs = Multigrid.setup ~hierarchy:s.s_hierarchy chain in
+          s.s_coarse_setup <- Some cs;
+          cs
     in
     let coarse_init = Partition.restrict partition !x in
     Linalg.Vec.normalize_l1 coarse_init;
-    let sol, _ = Multigrid.solve_with ~tol ~init:coarse_init ?pool ?cancel setup chain in
+    let sol, _ = Multigrid.solve_with ~tol ~fuse ~init:coarse_init ?pool ?cancel setup chain in
     (sol.Solution.pi, chain)
   in
   let cycles = ref 0 in
   let coarse_nnz = ref 0 in
   let residual_now () =
-    Cdr_op.vec_mul_into ?pool op !x !y;
-    Linalg.Vec.dist_l1 !y !x
+    phase "residual" (fun () ->
+        Cdr_op.vec_mul_into ?pool op !x !y;
+        Linalg.Vec.dist_l1 !y !x)
   in
   let continue_ = ref (n > 0) in
-  while !continue_ && !cycles < max_cycles do
-    (match cancel with
-    | Some f when f () -> raise Multigrid.Cancelled
-    | _ -> ());
-    smooth pre_smooth;
-    let coarse_pi, coarse_chain = solve_coarse () in
-    coarse_nnz := Sparse.Csr.nnz (Chain.tpm coarse_chain);
-    let lifted = Partition.prolong partition ~coarse:coarse_pi ~weights:!x in
-    Linalg.Vec.normalize_l1 lifted;
-    Array.blit lifted 0 !x 0 n;
-    smooth post_smooth;
-    incr cycles;
-    let r = residual_now () in
-    (match trace with
-    | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual:r
-    | None -> ());
-    if r <= tol then continue_ := false
-  done;
+  let run_cycles () =
+    while !continue_ && !cycles < max_cycles do
+      (match cancel with
+      | Some f when f () -> raise Multigrid.Cancelled
+      | _ -> ());
+      smooth pre_smooth;
+      let coarse_pi, coarse_chain = solve_coarse () in
+      coarse_nnz := Sparse.Csr.nnz (Chain.tpm coarse_chain);
+      phase "prolong" (fun () ->
+          let lifted = Partition.prolong partition ~coarse:coarse_pi ~weights:!x in
+          Linalg.Vec.normalize_l1 lifted;
+          Array.blit lifted 0 !x 0 n);
+      smooth post_smooth;
+      incr cycles;
+      let r = residual_now () in
+      (match trace with
+      | Some t -> Cdr_obs.Trace.record t ~iter:!cycles ~residual:r
+      | None -> ());
+      if r <= tol then continue_ := false
+    done
+  in
+  (* one phase region for the whole outer loop: fine applies, aggregation
+     refills and the nested coarse V-cycles all dispatch into one team *)
+  if fuse then Cdr_par.Pool.run_phases pool run_cycles else run_cycles ();
   let residual pi =
     let out = Linalg.Vec.create n in
     Cdr_op.vec_mul_into op pi out;
     Linalg.Vec.dist_l1 out pi
   in
-  let solution = Solution.make_residual ~residual ~pi:!x ~iterations:!cycles ~tol in
+  (* the solution owns its iterate; the setup's workspaces stay reusable *)
+  let solution = Solution.make_residual ~residual ~pi:(Array.copy !x) ~iterations:!cycles ~tol in
   ( solution,
     {
       cycles = !cycles;
@@ -165,3 +225,9 @@ let solve ?(tol = 1e-12) ?(max_cycles = 200) ?(pre_smooth = 2) ?(post_smooth = 2
       coarse_nnz = !coarse_nnz;
       smoothing_sweeps = !sweeps;
     } )
+
+let solve ?tol ?max_cycles ?pre_smooth ?post_smooth ?fuse ?init ?trace ?pool ?cancel
+    ?coarse_hierarchy ~partition op =
+  solve_with ?tol ?max_cycles ?pre_smooth ?post_smooth ?fuse ?init ?trace ?pool ?cancel
+    (prepare ?coarse_hierarchy ~partition op)
+    op

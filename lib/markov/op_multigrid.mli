@@ -25,11 +25,54 @@ val default_hierarchy : n_coarse:int -> Partition.t list
 (** {!Multigrid.default_hierarchy} from the coarse dimension down to the
     direct-solve size. *)
 
+type setup
+(** The reusable state of the solver: the partition and coarse hierarchy,
+    preallocated iterate/weight/aggregation vectors, and — after the first
+    cycle has run — the assembled coarse pattern, its in-place refill
+    buffer, and the coarse {!Multigrid.setup}. A service answering repeated
+    queries against one operator structure pays these allocations once and
+    runs every request through {!solve_with}. Owns mutable workspaces: at
+    most one solve may run against a setup at a time. *)
+
+val prepare : ?coarse_hierarchy:Partition.t list -> partition:Partition.t -> Cdr_op.t -> setup
+(** Allocate a setup for operators of this dimension/structure. Cheap (the
+    coarse pattern and Multigrid setup materialize lazily on the first
+    {!solve_with}). Raises [Invalid_argument] when the partition does not
+    cover the operator dimension. *)
+
+val matches : setup -> Cdr_op.t -> bool
+(** Whether the operator has the dimension the setup was prepared for.
+    (Structure beyond the dimension is the caller's contract, exactly as
+    one {!Multigrid.setup} serves refilled matrices.) *)
+
+val solve_with :
+  ?tol:float ->
+  ?max_cycles:int ->
+  ?pre_smooth:int ->
+  ?post_smooth:int ->
+  ?fuse:bool ->
+  ?init:Linalg.Vec.t ->
+  ?trace:Cdr_obs.Trace.t ->
+  ?pool:Cdr_par.Pool.t ->
+  ?cancel:(unit -> bool) ->
+  setup ->
+  Cdr_op.t ->
+  Solution.t * stats
+(** Run outer IAD cycles against an existing setup: no vector, pattern,
+    buffer or coarse-setup allocation beyond the lazily-built first-cycle
+    structures. Numerically identical to {!solve} with the same arguments.
+    [?fuse] (default [true]) runs the whole outer loop inside one
+    {!Cdr_par.Pool.run_phases} region — fine applies, aggregation refills
+    and nested coarse V-cycles all dispatch into one persistent team — and
+    selects the fused coarse-cycle kernels ({!Multigrid.solve_with}'s
+    [?fuse]); both settings produce bit-identical results. *)
+
 val solve :
   ?tol:float ->
   ?max_cycles:int ->
   ?pre_smooth:int ->
   ?post_smooth:int ->
+  ?fuse:bool ->
   ?init:Linalg.Vec.t ->
   ?trace:Cdr_obs.Trace.t ->
   ?pool:Cdr_par.Pool.t ->
@@ -38,7 +81,8 @@ val solve :
   partition:Partition.t ->
   Cdr_op.t ->
   Solution.t * stats
-(** Defaults: [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
+(** [prepare] followed by [solve_with] on a fresh setup. Defaults:
+    [tol = 1e-12], [max_cycles = 200], [pre_smooth = 2],
     [post_smooth = 2], [init = uniform], and
     [coarse_hierarchy = default_hierarchy] (a hierarchy for the {e coarse}
     chain: its first partition must cover [partition.n_coarse] states).

@@ -15,13 +15,25 @@ let create m =
   let transposed = lazy (Csr.transpose m) in
   let diagonal = lazy (Array.init n (fun i -> Csr.get m i i)) in
   let sums = lazy (Csr.row_sums m) in
+  (* operators are long-lived (one per solve loop), so matrices big enough to
+     be bandwidth-bound amortize a packed int32/Bigarray mirror; the packed
+     kernels are bitwise interchangeable with the Csr reference ones *)
+  let pack_worthwhile = Csr.nnz m >= 1 lsl 14 in
+  let packed = lazy (Csr.Packed.pack m) in
+  let packed_t = lazy (Csr.Packed.pack (Lazy.force transposed)) in
   {
     Backend.dim = n;
     kind = `Csr;
     label = Printf.sprintf "csr[%d states, %d nnz]" n (Csr.nnz m);
     nnz_estimate = Csr.nnz m;
-    vec_mul_into = (fun ?pool x y -> Csr.vec_mul_into ?pool x m y);
-    mul_vec = (fun ?pool x -> Csr.mul_vec ?pool (Lazy.force transposed) x);
+    vec_mul_into =
+      (fun ?pool x y ->
+        if pack_worthwhile then Csr.Packed.vec_mul_into ?pool x (Lazy.force packed) y
+        else Csr.vec_mul_into ?pool x m y);
+    mul_vec =
+      (fun ?pool x ->
+        if pack_worthwhile then Csr.Packed.mul_vec ?pool (Lazy.force packed_t) x
+        else Csr.mul_vec ?pool (Lazy.force transposed) x);
     diag = (fun () -> Lazy.force diagonal);
     row_sums = (fun () -> Lazy.force sums);
     iter_row = (fun i emit -> Csr.iter_row m i emit);

@@ -54,6 +54,27 @@ val run_slots_opt : t option -> slots:int -> (int -> unit) -> unit
     serial path executes the {e same} slot schedule as the pooled one —
     one code path, bit-identical results with or without a pool. *)
 
+val run_phases : t option -> (unit -> 'a) -> 'a
+(** [run_phases pool body] enters a {e phase region} for the extent of
+    [body]: worker domains are enlisted once, and every {!run_slots} /
+    {!run_slots_opt} batch [body] issues from the calling domain is
+    dispatched over a lock-free epoch/ticket protocol (one atomic store to
+    publish, CAS claims per slot, spin-then-block waiting) instead of the
+    mutex-and-condvar queue. A V-cycle that issues one batch per smoothing
+    sweep and per color pays the team start-up once per solve instead of
+    one fan-out per batch.
+
+    The slot grids and the slot-indexed result layout are exactly those of
+    the queue path, so results are bit-identical to [run_slots] with or
+    without a region. Active helpers are capped at the machine's core count
+    ([CDR_REGION_MEMBERS] overrides, for tests); with no spare cores the
+    region instead pins the pool's nested-batch serial fast path, making
+    every batch zero-dispatch-cost on the caller. Identity when [pool] is
+    [None], [jobs = 1], or a region/batch is already active (nested regions
+    compose with the existing one batch-at-a-time contract). Exceptions
+    from a batch re-raise in the caller at that batch's barrier, and
+    [body]'s own exceptions release the region. *)
+
 val merge_tree : ?pool:t -> slots:int -> (dst:int -> src:int -> unit) -> unit
 (** Pairwise tree reduction over slot indices [0 .. slots-1]: calls
     [merge ~dst ~src] for the fixed pair grid (stride 2, then 4, 8, …),

@@ -50,6 +50,10 @@ let middle_slots ~l ~r a =
    every slot layout, so results are bit-identical across job counts. *)
 let apply_middle ?pool ~l ~r a x y =
   let n = Csr.rows a in
+  (* profiler phase per contraction, so an enabled profiler attributes
+     kron-backend time the same way V-cycle legs are attributed; the label
+     list is only built when profiling is on (the gate is one atomic load) *)
+  let run () =
   Array.fill y 0 (Array.length y) 0.0;
   let slots = middle_slots ~l ~r a in
   if slots = 1 then
@@ -91,6 +95,13 @@ let apply_middle ?pool ~l ~r a x y =
                 y.(y_base + c) <- y.(y_base + c) +. (x.(x_base + c) *. v)
               done)
         done)
+  in
+  if not (Cdr_par.Pool.profiling_on ()) then run ()
+  else
+    Cdr_par.Pool.with_phase "kron-middle"
+      ~labels:
+        [ ("factor", string_of_int n); ("l", string_of_int l); ("r", string_of_int r) ]
+      run
 
 (* Reusable ping-pong buffers for the factor sweep: one [apply_into] needs
    exactly two length-n scratch vectors regardless of the number of factors

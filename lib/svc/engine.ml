@@ -2,11 +2,12 @@ type t = {
   pool : Cdr_par.Pool.t option;
   cache : Cdr.Solver_cache.t;
   mutable last_model : (string * Cdr.Model.t) option;
+  mutable last_kron : (string * Cdr.Kron_model.t) option;
 }
 
 let create ?pool ?cache () =
   let cache = match cache with Some c -> c | None -> Cdr.Solver_cache.create () in
-  { pool; cache; last_model = None }
+  { pool; cache; last_model = None; last_kron = None }
 
 let cache t = t.cache
 
@@ -134,11 +135,29 @@ let stats_payload t =
           ] );
     ]
 
+(* The kron model itself is rebuilt per request — factor matrices are a few
+   KB, the build is O(grid) table work — but the IAD solver setup it memoizes
+   (partition maps, iterate/weight workspaces, the aggregated coarse pattern
+   and its Multigrid setup) is O(states) and structure-only. When the
+   structural key repeats, transplant the previous model's setup into the
+   fresh build so repeated kron queries reallocate none of it. *)
+let get_kron_model t params config =
+  let key = Params.model_key params in
+  let model = Cdr.Kron_model.build config in
+  (match t.last_kron with
+  | Some (k, prev) when k = key -> (
+      match prev.Cdr.Kron_model.iad with
+      | Some s when Markov.Op_multigrid.matches s model.Cdr.Kron_model.op ->
+          model.Cdr.Kron_model.iad <- Some s
+      | _ -> ())
+  | _ -> ());
+  t.last_kron <- Some (key, model);
+  model
+
 (* Analyze on the matrix-free backend: same response shape as the CSR path,
-   solved through {!Cdr.Kron_model} (full product space, never materialized).
-   The model is rebuilt per request — factor matrices are a few KB, the build
-   is O(grid) table work — so no refill cache is involved. *)
-let run_analyze_kron ~ctx p config =
+   solved through {!Cdr.Kron_model} (full product space, never
+   materialized). *)
+let run_analyze_kron t ~ctx p config =
   let solver =
     match p.Params.solver with
     | `Multigrid -> `Multigrid
@@ -146,7 +165,7 @@ let run_analyze_kron ~ctx p config =
     | `Gauss_seidel ->
         raise (Unsupported "solver \"gauss-seidel\" has no matrix-free path; use backend=csr")
   in
-  let model = Cdr.Kron_model.build config in
+  let model = get_kron_model t p config in
   let (sol, degraded), solve_seconds =
     Cdr_obs.Span.timed ~name:"report.solve" (fun () ->
         with_degraded_retry ctx (fun ctx -> ((), Cdr.Kron_model.solve ~solver ~ctx model))
@@ -177,7 +196,7 @@ let reject_kron kind =
 let run_kind t ~ctx req config =
   let p = req.Protocol.params in
   match req.Protocol.kind with
-  | Protocol.Analyze when p.Params.backend = `Kron -> run_analyze_kron ~ctx p config
+  | Protocol.Analyze when p.Params.backend = `Kron -> run_analyze_kron t ~ctx p config
   | Protocol.Slip when p.Params.backend = `Kron -> reject_kron "slip"
   | Protocol.Sweep _ when p.Params.backend = `Kron -> reject_kron "sweep"
   | Protocol.Sigma _ when p.Params.backend = `Kron -> reject_kron "sigma"

@@ -1,0 +1,270 @@
+(* Tests for the fused/batched execution paths behind ?fuse and the phase
+   region dispatcher: fused V-cycles (packed smoothers, fused aggregation,
+   restriction-as-copy, one region per solve) must be bitwise identical to
+   the unfused reference at every job count; the int32/Bigarray packed CSR
+   mirrors must match the float-array kernels bit for bit; the region
+   protocol itself (forced cross-domain via CDR_REGION_MEMBERS) must
+   preserve batch results, propagate exceptions and tolerate nesting; and
+   the reusable Op_multigrid/Kron_model IAD setups must change no bits. *)
+
+let check_bool = Alcotest.(check bool)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x -> if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+(* small enough to solve in milliseconds, large enough for a 4-level
+   hierarchy, multi-slot kernels and packed (>= 2^14 nnz) matrices *)
+let cfg = { Cdr.Config.default with Cdr.Config.grid_points = 64; max_run = 4 }
+
+let model = lazy (Cdr.Model.build cfg)
+
+let chain () = (Lazy.force model).Cdr.Model.chain
+
+let hierarchy () = Cdr.Model.hierarchy (Lazy.force model)
+
+(* run [f] with the region member cap forced to [n], restoring the
+   environment after: on a single-core host regions otherwise degenerate to
+   the serial fast path and the cross-domain ticket protocol goes untested *)
+let with_forced_members n f =
+  let saved = Sys.getenv_opt "CDR_REGION_MEMBERS" in
+  Unix.putenv "CDR_REGION_MEMBERS" (string_of_int n);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CDR_REGION_MEMBERS" (match saved with Some v -> v | None -> ""))
+    f
+
+(* ---------- fused V-cycles vs the unfused reference ---------- *)
+
+let solve_mg ~smoother ~fuse pool =
+  let chain = chain () in
+  let s = Markov.Multigrid.setup ~smoother ~hierarchy:(hierarchy ()) chain in
+  let sol, _ = Markov.Multigrid.solve_with ~tol:1e-10 ~fuse ?pool s chain in
+  sol.Markov.Solution.pi
+
+let test_fused_bitwise_lex () =
+  let reference = solve_mg ~smoother:`Lex ~fuse:false None in
+  check_bool "lex: fused serial = unfused serial" true
+    (bits_equal reference (solve_mg ~smoother:`Lex ~fuse:true None));
+  let p4 =
+    Cdr_par.Pool.with_pool ~jobs:4 (fun pool -> solve_mg ~smoother:`Lex ~fuse:true (Some pool))
+  in
+  check_bool "lex: fused jobs=4 = unfused serial" true (bits_equal reference p4)
+
+let test_fused_bitwise_colored () =
+  let reference = solve_mg ~smoother:`Colored ~fuse:false None in
+  check_bool "colored: fused serial = unfused serial" true
+    (bits_equal reference (solve_mg ~smoother:`Colored ~fuse:true None));
+  let fused jobs =
+    Cdr_par.Pool.with_pool ~jobs (fun pool -> solve_mg ~smoother:`Colored ~fuse:true (Some pool))
+  in
+  check_bool "colored: fused jobs=1 = unfused serial" true (bits_equal reference (fused 1));
+  check_bool "colored: fused jobs=4 = unfused serial" true (bits_equal reference (fused 4))
+
+let test_w_cycle () =
+  let chain = chain () in
+  let s = Markov.Multigrid.setup ~hierarchy:(hierarchy ()) chain in
+  let solve ~fuse pool =
+    let sol, _ = Markov.Multigrid.solve_with ~tol:1e-10 ~cycle:`W ~fuse ?pool s chain in
+    sol.Markov.Solution.pi
+  in
+  let reference = solve ~fuse:false None in
+  check_bool "W-cycle solve is stationary" true (Markov.Chain.residual chain reference < 1e-10);
+  check_bool "W: fused serial = unfused serial" true (bits_equal reference (solve ~fuse:true None));
+  let p4 = Cdr_par.Pool.with_pool ~jobs:4 (fun pool -> solve ~fuse:true (Some pool)) in
+  check_bool "W: fused jobs=4 = unfused serial" true (bits_equal reference p4)
+
+(* the strong end of the contract: the ticket protocol actually running
+   across domains (forced members, irrespective of the host's core count)
+   moves no bits either *)
+let test_fused_bitwise_forced_region () =
+  let reference = solve_mg ~smoother:`Colored ~fuse:false None in
+  let forced =
+    with_forced_members 2 (fun () ->
+        Cdr_par.Pool.with_pool ~jobs:4 (fun pool ->
+            solve_mg ~smoother:`Colored ~fuse:true (Some pool)))
+  in
+  check_bool "colored: fused cross-domain region = unfused serial" true
+    (bits_equal reference forced)
+
+(* ---------- packed CSR mirrors vs the float-array kernels ---------- *)
+
+let test_packed_parity () =
+  let tpm = Markov.Chain.tpm (chain ()) in
+  let n = Sparse.Csr.rows tpm in
+  let x = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let pk = Sparse.Csr.Packed.pack tpm in
+  Alcotest.(check int) "nnz preserved" (Sparse.Csr.nnz tpm) (Sparse.Csr.Packed.nnz pk);
+  let y_ref = Array.make n 0.0 and y_pk = Array.make n 0.0 in
+  Sparse.Csr.vec_mul_into x tpm y_ref;
+  Sparse.Csr.Packed.vec_mul_into x pk y_pk;
+  check_bool "vec_mul_into bitwise" true (bits_equal y_ref y_pk);
+  check_bool "mul_vec bitwise" true
+    (bits_equal (Sparse.Csr.mul_vec tpm x) (Sparse.Csr.Packed.mul_vec pk x));
+  (* pooled packed kernels ride the same slot grids and merge tree as the
+     pooled reference (the pooled path's partial-merge order differs from
+     the no-pool scatter by design, so compare pooled to pooled) *)
+  Cdr_par.Pool.with_pool ~jobs:4 (fun pool ->
+      let r4 = Array.make n 0.0 and y4 = Array.make n 0.0 in
+      Sparse.Csr.vec_mul_into ~pool x tpm r4;
+      Sparse.Csr.Packed.vec_mul_into ~pool x pk y4;
+      check_bool "pooled vec_mul_into bitwise" true (bits_equal r4 y4);
+      check_bool "pooled mul_vec bitwise" true
+        (bits_equal (Sparse.Csr.mul_vec ~pool tpm x) (Sparse.Csr.Packed.mul_vec ~pool pk x)));
+  (* fill is the refill counterpart: new values, same structure *)
+  let scaled = Array.map (fun v -> 0.5 *. v) tpm.Sparse.Csr.values in
+  let refilled = Sparse.Csr.refill tpm scaled in
+  Sparse.Csr.Packed.fill pk scaled;
+  let y_ref2 = Array.make n 0.0 and y_pk2 = Array.make n 0.0 in
+  Sparse.Csr.vec_mul_into x refilled y_ref2;
+  Sparse.Csr.Packed.vec_mul_into x pk y_pk2;
+  check_bool "fill + vec_mul_into bitwise" true (bits_equal y_ref2 y_pk2)
+
+(* ---------- the region protocol on raw batches ---------- *)
+
+(* a deterministic multi-batch workload: every batch writes disjoint index
+   ranges, so queue dispatch, region dispatch and serial execution must all
+   produce the identical array *)
+let batch_workload pool out =
+  let n = Array.length out in
+  Array.fill out 0 n 0.0;
+  for round = 1 to 40 do
+    Cdr_par.Pool.run_slots_opt pool ~slots:8 (fun s ->
+        let lo = n * s / 8 and hi = (n * (s + 1) / 8) - 1 in
+        for i = lo to hi do
+          out.(i) <- out.(i) +. (1.0 /. float_of_int (round + i))
+        done)
+  done
+
+let test_region_batches_bitwise () =
+  let n = 1000 in
+  let reference = Array.make n 0.0 in
+  batch_workload None reference;
+  let through_region members =
+    with_forced_members members (fun () ->
+        Cdr_par.Pool.with_pool ~jobs:4 (fun pool ->
+            let out = Array.make n 0.0 in
+            Cdr_par.Pool.run_phases (Some pool) (fun () -> batch_workload (Some pool) out);
+            out))
+  in
+  (* members=0: the region degenerates to the serial fast path *)
+  check_bool "region members=0 bitwise" true (bits_equal reference (through_region 0));
+  check_bool "region members=2 bitwise" true (bits_equal reference (through_region 2))
+
+let test_region_exception_and_reuse () =
+  with_forced_members 2 (fun () ->
+      Cdr_par.Pool.with_pool ~jobs:4 (fun pool ->
+          (* an exception from a batch slot inside the region surfaces to the
+             dispatching caller... *)
+          let raised =
+            try
+              Cdr_par.Pool.run_phases (Some pool) (fun () ->
+                  Cdr_par.Pool.run_slots pool ~slots:8 (fun s ->
+                      if s = 5 then failwith "slot boom"));
+              false
+            with Failure m -> m = "slot boom"
+          in
+          check_bool "slot exception propagates out of the region" true raised;
+          (* ...and the pool is fully reusable afterwards: both for plain
+             batches and for a fresh region *)
+          let n = 500 in
+          let reference = Array.make n 0.0 in
+          batch_workload None reference;
+          let out = Array.make n 0.0 in
+          batch_workload (Some pool) out;
+          check_bool "queue batches after a failed region" true (bits_equal reference out);
+          Cdr_par.Pool.run_phases (Some pool) (fun () -> batch_workload (Some pool) out);
+          check_bool "a fresh region after a failed one" true (bits_equal reference out)))
+
+let test_region_nesting () =
+  with_forced_members 2 (fun () ->
+      Cdr_par.Pool.with_pool ~jobs:4 (fun pool ->
+          let n = 500 in
+          let reference = Array.make n 0.0 in
+          batch_workload None reference;
+          let out = Array.make n 0.0 in
+          (* an inner run_phases on a pool already inside a region must run
+             its body directly (the region is not re-entered) and still
+             produce identical batches; run_phases on no pool is the body *)
+          Cdr_par.Pool.run_phases (Some pool) (fun () ->
+              Cdr_par.Pool.run_phases (Some pool) (fun () ->
+                  Cdr_par.Pool.run_phases None (fun () -> batch_workload (Some pool) out)));
+          check_bool "nested regions bitwise" true (bits_equal reference out)))
+
+(* ---------- reusable IAD setups ---------- *)
+
+let test_iad_setup_reuse () =
+  let chain = chain () in
+  let op = Cdr_op.Csr_backend.create (Markov.Chain.tpm chain) in
+  match hierarchy () with
+  | [] -> Alcotest.fail "test model unexpectedly fits a direct solve"
+  | partition :: coarse_hierarchy ->
+      let fresh, _ =
+        Markov.Op_multigrid.solve ~tol:1e-10 ~coarse_hierarchy ~partition op
+      in
+      let setup = Markov.Op_multigrid.prepare ~coarse_hierarchy ~partition op in
+      check_bool "setup matches its operator" true (Markov.Op_multigrid.matches setup op);
+      let first, _ = Markov.Op_multigrid.solve_with ~tol:1e-10 setup op in
+      let second, _ = Markov.Op_multigrid.solve_with ~tol:1e-10 setup op in
+      check_bool "prepared solve = fresh solve" true
+        (bits_equal fresh.Markov.Solution.pi first.Markov.Solution.pi);
+      check_bool "setup reuse changes no bits" true
+        (bits_equal first.Markov.Solution.pi second.Markov.Solution.pi);
+      let unfused, _ = Markov.Op_multigrid.solve_with ~tol:1e-10 ~fuse:false setup op in
+      check_bool "IAD fused = unfused" true
+        (bits_equal first.Markov.Solution.pi unfused.Markov.Solution.pi)
+
+let test_kron_iad_memo () =
+  let kcfg =
+    Cdr.Config.create_exn
+      {
+        Cdr.Config.default with
+        Cdr.Config.grid_points = 32;
+        n_phases = 8;
+        counter_length = 3;
+        max_run = 4;
+        nw_max_atoms = 17;
+        sigma_w = 0.08;
+      }
+  in
+  let m = Cdr.Kron_model.build kcfg in
+  let ctx = Cdr.Context.make ~tol:1e-9 () in
+  let first = Cdr.Kron_model.solve ~solver:`Multigrid ~ctx m in
+  check_bool "first multigrid solve memoizes the IAD setup" true (m.Cdr.Kron_model.iad <> None);
+  let second = Cdr.Kron_model.solve ~solver:`Multigrid ~ctx m in
+  check_bool "memoized IAD solve changes no bits" true
+    (bits_equal first.Markov.Solution.pi second.Markov.Solution.pi)
+
+let () =
+  Alcotest.run "fuse"
+    [
+      ( "fused V-cycles",
+        [
+          Alcotest.test_case "lex fused = unfused, serial and jobs=4" `Quick
+            test_fused_bitwise_lex;
+          Alcotest.test_case "colored fused = unfused across jobs" `Quick
+            test_fused_bitwise_colored;
+          Alcotest.test_case "W-cycles fused = unfused, stationary" `Quick test_w_cycle;
+          Alcotest.test_case "forced cross-domain region moves no bits" `Quick
+            test_fused_bitwise_forced_region;
+        ] );
+      ( "packed csr",
+        [ Alcotest.test_case "packed kernels bitwise = float-array" `Quick test_packed_parity ] );
+      ( "phase regions",
+        [
+          Alcotest.test_case "batches bitwise through the region" `Quick
+            test_region_batches_bitwise;
+          Alcotest.test_case "exceptions propagate, pool reusable" `Quick
+            test_region_exception_and_reuse;
+          Alcotest.test_case "nesting degrades to the body" `Quick test_region_nesting;
+        ] );
+      ( "reusable IAD",
+        [
+          Alcotest.test_case "op_multigrid setup reuse bitwise" `Quick test_iad_setup_reuse;
+          Alcotest.test_case "kron model memoizes its setup" `Quick test_kron_iad_memo;
+        ] );
+    ]
