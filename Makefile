@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron bench-ladder serve-smoke bench-load load-smoke clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron bench-ladder serve-smoke bench-load load-smoke replica-smoke clean
 
 all: build
 
@@ -18,9 +18,10 @@ fmt:
 	dune build @fmt
 
 # Everything CI needs: the build, formatting (dune files; the container has
-# no ocamlformat), the full test suite, and the parallel suite under a
-# forced multi-domain pool.
-check: build fmt test test-par kron-smoke
+# no ocamlformat), the full test suite, the parallel suite under a forced
+# multi-domain pool, and the multi-replica serving smoke (routing, worker
+# kill/respawn, result-cache persistence).
+check: build fmt test test-par kron-smoke replica-smoke
 
 # Quick end-to-end telemetry smoke: the solver-telemetry bench section with
 # JSONL events streamed to a file.
@@ -96,12 +97,30 @@ bench-scaling:
 	dune exec bench/main.exe -- parallel
 
 # Load benchmark: an open-loop mixed session (analyze/sweep/sigma/slip at a
-# fixed target rate) through a spawned cdr_serve, reporting throughput,
-# per-kind latency percentiles and error-code counts into BENCH.json
-# (path overridable via CDR_BENCH_JSON), with the server's own "stats"
-# snapshot embedded alongside the client-side numbers.
+# fixed target rate) through a spawned cdr_serve, then the replica
+# throughput experiment (1 vs 4 replicas at a saturating rate, plus a
+# repeated-query session against the shared result cache). Both sections
+# merge into the repo-root BENCH.json (path overridable via CDR_BENCH_JSON)
+# without clobbering the solver sections. The speedup and cache gates fold
+# their core-count-aware policy into boolean gauges, so the guard greps
+# booleans, not floats: serve.replica_speedup must clear 2x on a >=4-core
+# host (1.2x on 2-3 cores, 0.85x single-core, mirroring mg.speedup_j4_ok),
+# at equal error rates; the repeated-query session must exceed a 50% hit
+# rate with hit p95 at least 10x below the cold-solve p95.
 bench-load: build
-	dune exec bin/cdr_load.exe -- --rate 50 -n 100 --grid 32 --structures 3
+	dune exec bin/cdr_load.exe -- --rate 50 -n 100 --warmup 10 --grid 32 --structures 3
+	dune exec bin/cdr_load.exe -- --replica-bench 4 --grid 16
+	grep -q '"serve.replica_speedup_ok":1' $${CDR_BENCH_JSON:-BENCH.json}
+	grep -q '"serve.result_cache_ok":1' $${CDR_BENCH_JSON:-BENCH.json}
+	@echo "bench-load: throughput multiplier and result-cache gates as expected"
+
+# CI replica smoke: scripts/replica_smoke.sh — a mixed session through a
+# 2-replica router with the shared result cache, a worker killed -9
+# mid-session (respawn observed, zero hung requests, only structured
+# internal/overloaded errors), and a persistence round-trip replaying a
+# response byte-identically across a server restart.
+replica-smoke: build
+	bash scripts/replica_smoke.sh
 
 # CI load smoke: a short cdr_load session plus structural assertions on the
 # JSON report (response accounting, percentile fields, embedded server

@@ -1091,6 +1091,24 @@ let counters_delta before after =
 let bench_json_path =
   match Sys.getenv_opt "CDR_BENCH_JSON" with Some p -> p | None -> "BENCH.json"
 
+(* sections from other tools (cdr_load's serve.load / serve.replica_bench)
+   already in the file are preserved; a filtered bench run only overwrites
+   the sections it actually ran *)
+let previous_sections () =
+  if not (Sys.file_exists bench_json_path) then []
+  else
+    try
+      let ic = open_in bench_json_path in
+      let contents = In_channel.input_all ic in
+      close_in ic;
+      match Cdr_obs.Jsonl.of_string (String.trim contents) with
+      | Cdr_obs.Jsonl.Obj fields -> (
+          match List.assoc_opt "sections" fields with
+          | Some (Cdr_obs.Jsonl.Obj secs) -> secs
+          | _ -> [])
+      | _ -> []
+    with Failure _ | Sys_error _ -> []
+
 let write_bench_json per_section total =
   let sections_json =
     List.map
@@ -1106,9 +1124,16 @@ let write_bench_json per_section total =
             ] ))
       per_section
   in
+  let fresh = List.map fst sections_json in
+  let kept =
+    List.filter (fun (k, _) -> not (List.mem k fresh)) (previous_sections ())
+  in
   let json =
     Cdr_obs.Jsonl.Obj
-      [ ("total_seconds", Cdr_obs.Jsonl.Num total); ("sections", Cdr_obs.Jsonl.Obj sections_json) ]
+      [
+        ("total_seconds", Cdr_obs.Jsonl.Num total);
+        ("sections", Cdr_obs.Jsonl.Obj (kept @ sections_json));
+      ]
   in
   let oc = open_out bench_json_path in
   output_string oc (Cdr_obs.Jsonl.to_string json);

@@ -7,11 +7,23 @@
    omission). Latency is measured from the scheduled instant to the
    response, on the monotonic clock.
 
+   A --warmup phase (excluded from the percentiles and throughput) runs
+   before the measured session and is waited out completely, so the measured
+   phase starts against hot solver caches — and, with --result-cache, a
+   populated memoization cache. --duration switches the measured phase from
+   a fixed request count to a fixed time budget at the target rate.
+
    The server is either spawned as a child over stdio pipes (default; the
    binary is looked up next to cdr_load itself) or an already-running one is
    reached over its Unix-domain socket (--socket). After the session one
    "stats" request closes the loop: the server's own view of the run lands
-   in the report next to the client-side percentiles. *)
+   in the report next to the client-side percentiles — including one row per
+   worker replica when the server is a --replicas router.
+
+   --replica-bench N runs the whole throughput experiment instead: a
+   saturating session against 1 replica, the same against N, and a
+   repeated-query session against a result cache, recording
+   serve.replica_speedup / serve.result_cache_* gauges into BENCH.json. *)
 
 open Cmdliner
 
@@ -20,8 +32,23 @@ let rate =
   Arg.(value & opt float 20.0 & info [ "rate" ] ~docv:"RPS" ~doc)
 
 let requests =
-  let doc = "Total number of requests to send." in
+  let doc = "Total number of measured requests to send (ignored with $(b,--duration))." in
   Arg.(value & opt int 100 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let warmup =
+  let doc =
+    "Send $(docv) warmup requests (same deterministic mix) before the measured session and \
+     wait for all their responses first. Warmup latencies are excluded from the percentiles \
+     and throughput; they are reported separately as the cold profile."
+  in
+  Arg.(value & opt int 0 & info [ "warmup" ] ~docv:"N" ~doc)
+
+let duration =
+  let doc =
+    "Run the measured phase for $(docv) seconds at the target rate instead of sending a fixed \
+     request count ($(b,-n) is ignored)."
+  in
+  Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S" ~doc)
 
 let socket =
   let doc =
@@ -37,6 +64,24 @@ let jobs =
   let doc = "Worker domains for the spawned server's solver kernels." in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let replicas =
+  let doc = "Spawn the server with $(docv) worker replicas (ignored with --socket)." in
+  Arg.(value & opt (some int) None & info [ "replicas" ] ~docv:"N" ~doc)
+
+let result_cache =
+  let doc = "Spawn the server with a result cache of $(docv) entries (ignored with --socket)." in
+  Arg.(value & opt (some int) None & info [ "result-cache" ] ~docv:"CAP" ~doc)
+
+let replica_bench =
+  let doc =
+    "Run the replica throughput experiment: a saturating session against 1 replica, the same \
+     against $(docv) replicas, and a repeated-query session against a shared result cache. \
+     Records $(b,serve.replica_speedup) (with a core-count-aware ok gauge) and \
+     $(b,serve.result_cache_hit_rate)/$(b,_p95_ratio) into the BENCH.json report. Most other \
+     flags are ignored; the sessions pick their own saturating rates."
+  in
+  Arg.(value & opt (some int) None & info [ "replica-bench" ] ~docv:"N" ~doc)
+
 let deadline_ms =
   let doc = "Per-request deadline_ms field; expired requests come back as timeout errors." in
   Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
@@ -48,12 +93,16 @@ let grid =
 let structures =
   let doc =
     "Rotate the counter length through this many values (2, 3, ...): distinct counters give \
-     distinct sparsity structures, exercising the server's setup cache and batcher."
+     distinct sparsity structures, exercising the server's setup cache, batcher and replica \
+     routing."
   in
   Arg.(value & opt int 2 & info [ "structures" ] ~docv:"K" ~doc)
 
 let json_path =
-  let doc = "Write the machine-readable report here (default: $(b,CDR_BENCH_JSON) or BENCH.json)." in
+  let doc =
+    "Merge the machine-readable report into this BENCH file (default: $(b,CDR_BENCH_JSON) or \
+     BENCH.json). Other tools' sections in an existing file are preserved."
+  in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
 (* ---------- session construction ---------- *)
@@ -71,14 +120,18 @@ let kind_name = function
   | `Slip -> "slip"
   | `Stats -> "stats"
 
-let request_line ~grid ~structures ~deadline_ms i =
+(* the mix repeats with this period: 5 kinds x [structures] counters; a
+   warmup of one full period therefore touches every distinct request *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let mix_period structures =
+  let s = max 1 structures in
+  5 * s / gcd 5 s
+
+let request_line ~grid ~structures ~deadline_ms ~id i =
   let kind = kind_of_index i in
   let counter = 2 + (i mod max 1 structures) in
   let base =
-    [
-      ("id", Cdr_obs.Jsonl.Str (Printf.sprintf "l%05d" i));
-      ("kind", Cdr_obs.Jsonl.Str (kind_name kind));
-    ]
+    [ ("id", Cdr_obs.Jsonl.Str id); ("kind", Cdr_obs.Jsonl.Str (kind_name kind)) ]
   in
   let extras =
     match kind with
@@ -108,7 +161,7 @@ let default_serve_bin () =
   if Sys.file_exists beside then beside
   else Filename.concat (Filename.dirname Sys.executable_name) "cdr_serve"
 
-let open_channels ~socket ~serve_bin ~jobs =
+let open_channels ~socket ~serve_bin ~spawn_args =
   match socket with
   | Some path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -116,10 +169,7 @@ let open_channels ~socket ~serve_bin ~jobs =
       (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, None)
   | None ->
       let bin = match serve_bin with Some b -> b | None -> default_serve_bin () in
-      let args =
-        Array.of_list
-          (bin :: (match jobs with Some j -> [ "--jobs"; string_of_int j ] | None -> []))
-      in
+      let args = Array.of_list (bin :: spawn_args) in
       let ic, oc = Unix.open_process_args bin args in
       (ic, oc, Some (ic, oc))
 
@@ -127,34 +177,50 @@ let open_channels ~socket ~serve_bin ~jobs =
 
 type outcome = { o_kind : string; o_code : string; o_latency : float }
 
+type session = {
+  s_requests : int;  (* measured requests sent *)
+  s_warmup : int;
+  s_lost : int;  (* warmup+measured requests never answered: must be 0 *)
+  s_wall : float;
+  s_throughput : float;
+  s_outcomes : outcome list;  (* measured phase only *)
+  s_warm_outcomes : outcome list;
+  s_errors : (string * int) list;  (* measured phase, by error code *)
+  s_server_stats : Cdr_obs.Jsonl.t;
+}
+
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then Float.nan
   else sorted.(min (n - 1) (max 0 (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
 
-let run rate requests socket serve_bin jobs deadline_ms grid structures json_path =
-  if rate <= 0.0 then begin
-    Format.eprintf "cdr_load: --rate must be positive@.";
-    exit 2
-  end;
-  if requests < 1 then begin
-    Format.eprintf "cdr_load: --requests must be >= 1@.";
-    exit 2
-  end;
-  let ic, oc, child = open_channels ~socket ~serve_bin ~jobs in
-  (* id -> (kind, scheduled send instant); latency is measured from the
-     schedule, not the (possibly late) actual write *)
-  let table : (string, string * float) Hashtbl.t = Hashtbl.create (2 * requests) in
+let p95 outcomes =
+  let sorted = Array.of_list (List.map (fun o -> o.o_latency) outcomes) in
+  Array.sort compare sorted;
+  percentile sorted 0.95
+
+let run_session ~rate ~requests ~warmup ~duration ~socket ~serve_bin ~spawn_args ~deadline_ms
+    ~grid ~structures () =
+  let requests =
+    match duration with
+    | Some s -> max 1 (int_of_float (Float.ceil (rate *. s)))
+    | None -> requests
+  in
+  let ic, oc, child = open_channels ~socket ~serve_bin ~spawn_args in
+  (* id -> (kind, scheduled send instant, warm?); latency is measured from
+     the schedule, not the (possibly late) actual write *)
+  let table : (string, string * float * bool) Hashtbl.t = Hashtbl.create (2 * requests) in
   let mu = Mutex.create () in
-  let outcomes = ref [] in
+  let cond = Condition.create () in
+  let outcomes = ref [] and warm_outcomes = ref [] in
+  let warm_seen = ref 0 and seen = ref 0 and receiver_done = ref false in
   let server_stats = ref Cdr_obs.Jsonl.Null in
-  let expected = requests + 1 (* the trailing stats request *) in
+  let expected = warmup + requests + 1 (* the trailing stats request *) in
   let receiver =
     Thread.create
       (fun () ->
-        let seen = ref 0 in
         (try
-           while !seen < expected do
+           while !warm_seen + !seen < expected do
              let line = input_line ic in
              let now = mono () in
              match Cdr_obs.Jsonl.of_string line with
@@ -180,32 +246,71 @@ let run rate requests socket serve_bin jobs deadline_ms grid structures json_pat
                    (fun id ->
                      Mutex.lock mu;
                      (match Hashtbl.find_opt table id with
-                     | Some ("stats", _) ->
+                     | Some ("stats", _, _) ->
                          incr seen;
                          server_stats :=
                            Option.value ~default:Cdr_obs.Jsonl.Null
                              (Cdr_obs.Jsonl.member "result" json)
-                     | Some (kind, scheduled) ->
-                         incr seen;
-                         outcomes :=
+                     | Some (kind, scheduled, warm) ->
+                         let o =
                            { o_kind = kind; o_code = code; o_latency = now -. scheduled }
-                           :: !outcomes
+                         in
+                         if warm then begin
+                           incr warm_seen;
+                           warm_outcomes := o :: !warm_outcomes
+                         end
+                         else begin
+                           incr seen;
+                           outcomes := o :: !outcomes
+                         end
                      | None -> ());
                      Hashtbl.remove table id;
+                     Condition.broadcast cond;
                      Mutex.unlock mu)
                    id
            done
-         with End_of_file -> ()))
+         with End_of_file -> ());
+        Mutex.lock mu;
+        receiver_done := true;
+        Condition.broadcast cond;
+        Mutex.unlock mu)
       ()
   in
+  let send ~warm i =
+    let id = Printf.sprintf "%s%05d" (if warm then "w" else "l") i in
+    let kind, line = request_line ~grid ~structures ~deadline_ms ~id i in
+    (id, kind, line)
+  in
+  (* warmup phase: paced like the real session, then fully waited out so the
+     measured phase starts against warm caches instead of racing them *)
+  if warmup > 0 then begin
+    let t0w = mono () in
+    for i = 0 to warmup - 1 do
+      let id, kind, line = send ~warm:true i in
+      let scheduled = t0w +. (float_of_int i /. rate) in
+      let now = mono () in
+      if scheduled > now then Unix.sleepf (scheduled -. now);
+      Mutex.lock mu;
+      Hashtbl.replace table id (kind, scheduled, true);
+      Mutex.unlock mu;
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    done;
+    Mutex.lock mu;
+    while !warm_seen < warmup && not !receiver_done do
+      Condition.wait cond mu
+    done;
+    Mutex.unlock mu
+  end;
   let t0 = mono () in
   for i = 0 to requests - 1 do
-    let kind, line = request_line ~grid ~structures ~deadline_ms i in
+    let id, kind, line = send ~warm:false i in
     let scheduled = t0 +. (float_of_int i /. rate) in
     let now = mono () in
     if scheduled > now then Unix.sleepf (scheduled -. now);
     Mutex.lock mu;
-    Hashtbl.replace table (Printf.sprintf "l%05d" i) (kind, scheduled);
+    Hashtbl.replace table id (kind, scheduled, false);
     Mutex.unlock mu;
     output_string oc line;
     output_char oc '\n';
@@ -213,7 +318,7 @@ let run rate requests socket serve_bin jobs deadline_ms grid structures json_pat
   done;
   (* close the loop: the server reports its own view of the session *)
   Mutex.lock mu;
-  Hashtbl.replace table "finalstats" ("stats", mono ());
+  Hashtbl.replace table "finalstats" ("stats", mono (), false);
   Mutex.unlock mu;
   output_string oc "{\"id\":\"finalstats\",\"kind\":\"stats\"}\n";
   flush oc;
@@ -225,11 +330,34 @@ let run rate requests socket serve_bin jobs deadline_ms grid structures json_pat
   Thread.join receiver;
   let wall = mono () -. t0 in
   (match child with Some (ic, oc) -> ignore (Unix.close_process (ic, oc)) | None -> ());
-  (* ---------- report ---------- *)
   let outcomes = !outcomes in
+  (* [seen] counts the stats response too; measured solve responses: *)
   let responses = List.length outcomes in
-  let by_kind : (string, float list ref * int ref) Hashtbl.t = Hashtbl.create 8 in
   let errors : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      if o.o_code <> "ok" then
+        match Hashtbl.find_opt errors o.o_code with
+        | Some r -> incr r
+        | None -> Hashtbl.add errors o.o_code (ref 1))
+    outcomes;
+  {
+    s_requests = requests;
+    s_warmup = warmup;
+    s_lost = warmup + requests - !warm_seen - responses;
+    s_wall = wall;
+    s_throughput = (if wall > 0.0 then float_of_int responses /. wall else 0.0);
+    s_outcomes = outcomes;
+    s_warm_outcomes = !warm_outcomes;
+    s_errors =
+      Hashtbl.fold (fun code r acc -> (code, !r) :: acc) errors [] |> List.sort compare;
+    s_server_stats = !server_stats;
+  }
+
+(* ---------- report assembly ---------- *)
+
+let kind_rows outcomes =
+  let by_kind : (string, float list ref * int ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun o ->
       let lats, oks =
@@ -241,85 +369,290 @@ let run rate requests socket serve_bin jobs deadline_ms grid structures json_pat
             cell
       in
       lats := o.o_latency :: !lats;
-      if o.o_code = "ok" then incr oks
-      else begin
-        match Hashtbl.find_opt errors o.o_code with
-        | Some r -> incr r
-        | None -> Hashtbl.add errors o.o_code (ref 1)
-      end)
+      if o.o_code = "ok" then incr oks)
     outcomes;
-  let kind_rows =
-    Hashtbl.fold
-      (fun kind (lats, oks) acc ->
-        let sorted = Array.of_list !lats in
-        Array.sort compare sorted;
-        ( kind,
-          Cdr_obs.Jsonl.Obj
-            [
-              ("count", Num (float_of_int (Array.length sorted)));
-              ("ok", Num (float_of_int !oks));
-              ("p50_s", Num (percentile sorted 0.50));
-              ("p95_s", Num (percentile sorted 0.95));
-              ("p99_s", Num (percentile sorted 0.99));
-              ("max_s", Num (percentile sorted 1.0));
-            ] )
-        :: acc)
-      by_kind []
-    |> List.sort compare
-  in
-  let error_rows =
-    Hashtbl.fold (fun code r acc -> (code, Cdr_obs.Jsonl.Num (float_of_int !r)) :: acc) errors []
-    |> List.sort compare
-  in
-  let throughput = if wall > 0.0 then float_of_int responses /. wall else 0.0 in
-  let report =
-    Cdr_obs.Jsonl.Obj
-      [
-        ("tool", Str "cdr_load");
-        ("rate_target_rps", Num rate);
-        ("requests_sent", Num (float_of_int requests));
-        ("responses", Num (float_of_int responses));
-        ("wall_s", Num wall);
-        ("throughput_rps", Num throughput);
-        ("kinds", Obj kind_rows);
-        ("errors", Obj error_rows);
-        ("server_stats", !server_stats);
-      ]
-  in
-  let path =
-    match json_path with
-    | Some p -> p
-    | None -> (
-        match Sys.getenv_opt "CDR_BENCH_JSON" with Some p -> p | None -> "BENCH.json")
-  in
-  let out = open_out path in
-  output_string out (Cdr_obs.Jsonl.to_string report);
-  output_char out '\n';
-  close_out out;
+  Hashtbl.fold
+    (fun kind (lats, oks) acc ->
+      let sorted = Array.of_list !lats in
+      Array.sort compare sorted;
+      ( kind,
+        Cdr_obs.Jsonl.Obj
+          [
+            ("count", Num (float_of_int (Array.length sorted)));
+            ("ok", Num (float_of_int !oks));
+            ("p50_s", Num (percentile sorted 0.50));
+            ("p95_s", Num (percentile sorted 0.95));
+            ("p99_s", Num (percentile sorted 0.99));
+            ("max_s", Num (percentile sorted 1.0));
+          ] )
+      :: acc)
+    by_kind []
+  |> List.sort compare
+
+(* one row per worker replica, pulled out of a --replicas server's stats
+   aggregate: request count (all kinds and statuses) attributed to each *)
+let replica_rows stats =
+  match Cdr_obs.Jsonl.member "replicas" stats with
+  | Some (Cdr_obs.Jsonl.List rows) ->
+      List.filter_map
+        (fun row ->
+          let f name = Option.bind (Cdr_obs.Jsonl.member name row) Cdr_obs.Jsonl.to_float in
+          match f "replica" with
+          | None -> None
+          | Some r ->
+              let count =
+                match Cdr_obs.Jsonl.member "requests" row with
+                | Some (Cdr_obs.Jsonl.List reqs) ->
+                    List.fold_left
+                      (fun acc req ->
+                        acc
+                        +. Option.value ~default:0.0
+                             (Option.bind (Cdr_obs.Jsonl.member "count" req)
+                                Cdr_obs.Jsonl.to_float))
+                      0.0 reqs
+                | _ -> 0.0
+              in
+              Some
+                (Cdr_obs.Jsonl.Obj
+                   [
+                     ("replica", Num r);
+                     ("pid", Num (Option.value ~default:Float.nan (f "pid")));
+                     ("requests", Num count);
+                   ]))
+        rows
+  | _ -> []
+
+let session_report ~rate s =
+  Cdr_obs.Jsonl.Obj
+    ([
+       ("tool", Cdr_obs.Jsonl.Str "cdr_load");
+       ("rate_target_rps", Num rate);
+       ("requests_sent", Num (float_of_int s.s_requests));
+       ("warmup", Num (float_of_int s.s_warmup));
+       ("responses", Num (float_of_int (List.length s.s_outcomes)));
+       ("wall_s", Num s.s_wall);
+       ("throughput_rps", Num s.s_throughput);
+       ("kinds", Obj (kind_rows s.s_outcomes));
+       ( "errors",
+         Obj (List.map (fun (c, n) -> (c, Cdr_obs.Jsonl.Num (float_of_int n))) s.s_errors) );
+     ]
+    @ (match s.s_warm_outcomes with
+      | [] -> []
+      | warm -> [ ("warmup_p95_s", Cdr_obs.Jsonl.Num (p95 warm)) ])
+    @ (match replica_rows s.s_server_stats with
+      | [] -> []
+      | rows -> [ ("replicas", Cdr_obs.Jsonl.List rows) ])
+    @ [ ("server_stats", s.s_server_stats) ])
+
+let print_session ~rate s =
   Format.printf "cdr_load: %d requests at %.1f rps target -> %d responses in %.2fs (%.1f rps)@."
-    requests rate responses wall throughput;
+    s.s_requests rate
+    (List.length s.s_outcomes)
+    s.s_wall s.s_throughput;
+  if s.s_warmup > 0 then
+    Format.printf "  warmup: %d requests (excluded), cold p95=%.4fs@." s.s_warmup
+      (p95 s.s_warm_outcomes);
   List.iter
     (fun (kind, row) ->
       let f name = Option.bind (Cdr_obs.Jsonl.member name row) Cdr_obs.Jsonl.to_float in
       let v name = Option.value ~default:Float.nan (f name) in
       Format.printf "  %-8s n=%-4.0f ok=%-4.0f p50=%.4fs p95=%.4fs p99=%.4fs@." kind
         (v "count") (v "ok") (v "p50_s") (v "p95_s") (v "p99_s"))
-    kind_rows;
-  if error_rows <> [] then
+    (kind_rows s.s_outcomes);
+  List.iter
+    (fun row ->
+      let f name = Option.bind (Cdr_obs.Jsonl.member name row) Cdr_obs.Jsonl.to_float in
+      let v name = Option.value ~default:Float.nan (f name) in
+      Format.printf "  replica %.0f: %.0f requests (pid %.0f)@." (v "replica") (v "requests")
+        (v "pid"))
+    (replica_rows s.s_server_stats);
+  if s.s_errors <> [] then
     Format.printf "  errors: %s@."
-      (String.concat ", "
-         (List.map
-            (fun (c, n) ->
-              Printf.sprintf "%s=%d" c
-                (int_of_float (Option.value ~default:0.0 (Cdr_obs.Jsonl.to_float n))))
-            error_rows));
-  Format.printf "report written to %s@." path;
-  (* a lost response is a bug in the server's reply accounting; fail loudly *)
-  if responses < requests then begin
-    Format.eprintf "cdr_load: %d of %d requests were never answered@." (requests - responses)
-      requests;
+      (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) s.s_errors))
+
+(* ---------- BENCH.json merging ---------- *)
+
+(* the report file is shared with bench/main.ml: one top-level object with a
+   "sections" map. Merge this tool's section in; never clobber the others. *)
+let merge_section path name section =
+  let previous =
+    if Sys.file_exists path then
+      try
+        let ic = open_in path in
+        let contents = In_channel.input_all ic in
+        close_in ic;
+        Some (Cdr_obs.Jsonl.of_string (String.trim contents))
+      with Failure _ | Sys_error _ -> None
+    else None
+  in
+  let total, sections =
+    match previous with
+    | Some (Cdr_obs.Jsonl.Obj fields) ->
+        let total =
+          Option.value ~default:(Cdr_obs.Jsonl.Num 0.0) (List.assoc_opt "total_seconds" fields)
+        in
+        let sections =
+          match List.assoc_opt "sections" fields with
+          | Some (Cdr_obs.Jsonl.Obj secs) -> secs
+          | _ -> []
+        in
+        (total, sections)
+    | _ -> (Cdr_obs.Jsonl.Num 0.0, [])
+  in
+  let sections = List.filter (fun (k, _) -> k <> name) sections @ [ (name, section) ] in
+  let out = open_out path in
+  output_string out
+    (Cdr_obs.Jsonl.to_string
+       (Cdr_obs.Jsonl.Obj [ ("total_seconds", total); ("sections", Obj sections) ]));
+  output_char out '\n';
+  close_out out
+
+let bench_path json_path =
+  match json_path with
+  | Some p -> p
+  | None -> (
+      match Sys.getenv_opt "CDR_BENCH_JSON" with Some p -> p | None -> "BENCH.json")
+
+(* ---------- the replica throughput experiment ---------- *)
+
+let replica_bench_run ~n ~serve_bin ~grid ~json_path =
+  let structures = 3 in
+  let warm = mix_period structures in
+  let requests = 40 in
+  (* saturating offered rate: far beyond single-replica capacity, so
+     throughput measures the servers' drain rate, not the generator's *)
+  let rate = 200.0 in
+  let spawn extra = [ "--queue-bound"; string_of_int (requests + warm + 8) ] @ extra in
+  let leg name extra ~structures ~warmup ~requests =
+    Format.printf "-- leg %s: cdr_serve %s@." name (String.concat " " (spawn extra));
+    let s =
+      run_session ~rate ~requests ~warmup ~duration:None ~socket:None ~serve_bin
+        ~spawn_args:(spawn extra) ~deadline_ms:None ~grid ~structures ()
+    in
+    print_session ~rate s;
+    s
+  in
+  let s1 = leg "replicas-1" [] ~structures ~warmup:warm ~requests in
+  let sn = leg "replicas-n" [ "--replicas"; string_of_int n ] ~structures ~warmup:warm ~requests in
+  let sc =
+    leg "cached"
+      [ "--replicas"; "2"; "--result-cache"; "256" ]
+      ~structures:1 ~warmup:(mix_period 1) ~requests:50
+  in
+  let err_rate s =
+    float_of_int (List.fold_left (fun acc (_, n) -> acc + n) 0 s.s_errors)
+    /. float_of_int (max 1 s.s_requests)
+  in
+  let speedup = if s1.s_throughput > 0.0 then sn.s_throughput /. s1.s_throughput else 0.0 in
+  (* a single-core host cannot show a multiplier from process-level
+     parallelism — same policy as the solver-level mg.speedup gates: the
+     multi-core thresholds only apply where the cores exist *)
+  let cores = Domain.recommended_domain_count () in
+  let required = if cores >= 4 then 2.0 else if cores >= 2 then 1.2 else 0.85 in
+  let equal_errors = Float.abs (err_rate s1 -. err_rate sn) <= 0.01 in
+  let speedup_ok = speedup >= required && equal_errors in
+  (* the cached leg: warmup solved every distinct request once, so the
+     measured phase should be (nearly) all memoization hits *)
+  let rc_member name =
+    let stats = sc.s_server_stats in
+    let rc =
+      match Cdr_obs.Jsonl.member "router" stats with
+      | Some router -> Cdr_obs.Jsonl.member "result_cache" router
+      | None -> Cdr_obs.Jsonl.member "result_cache" stats
+    in
+    Option.value ~default:0.0
+      (Option.bind (Option.bind rc (Cdr_obs.Jsonl.member name)) Cdr_obs.Jsonl.to_float)
+  in
+  let hits = rc_member "hits" and misses = rc_member "misses" in
+  let hit_rate = if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0 in
+  let cold_p95 = p95 sc.s_warm_outcomes and hit_p95 = p95 sc.s_outcomes in
+  let p95_ratio =
+    if hit_p95 > 0.0 && Float.is_finite cold_p95 then cold_p95 /. hit_p95 else 0.0
+  in
+  let cache_ok = hit_rate > 0.5 && p95_ratio >= 10.0 in
+  let bool_gauge b = Cdr_obs.Jsonl.Num (if b then 1.0 else 0.0) in
+  let section =
+    Cdr_obs.Jsonl.Obj
+      [
+        ("replicas", Num (float_of_int n));
+        ("cores", Num (float_of_int cores));
+        ("r1", session_report ~rate s1);
+        ("rn", session_report ~rate sn);
+        ("cached", session_report ~rate sc);
+        ( "gauges",
+          Obj
+            [
+              ("serve.replica_speedup", Num speedup);
+              ("serve.replica_speedup_required", Num required);
+              ("serve.replica_speedup_ok", bool_gauge speedup_ok);
+              ("serve.result_cache_hit_rate", Num hit_rate);
+              ("serve.result_cache_p95_ratio", Num p95_ratio);
+              ("serve.result_cache_ok", bool_gauge cache_ok);
+            ] );
+      ]
+  in
+  let path = bench_path json_path in
+  merge_section path "serve.replica_bench" section;
+  Format.printf
+    "replica-bench: %.1f rps (1 replica) -> %.1f rps (%d replicas): speedup %.2fx (required \
+     %.2fx on %d cores) %s@."
+    s1.s_throughput sn.s_throughput n speedup required cores
+    (if speedup_ok then "OK" else "FAIL");
+  Format.printf
+    "result-cache: hit rate %.0f%%, cold p95 %.4fs vs hit p95 %.4fs (%.0fx) %s@."
+    (100.0 *. hit_rate) cold_p95 hit_p95 p95_ratio
+    (if cache_ok then "OK" else "FAIL");
+  Format.printf "report merged into %s@." path;
+  let lost = s1.s_lost + sn.s_lost + sc.s_lost in
+  if lost > 0 then begin
+    Format.eprintf "cdr_load: %d requests were never answered@." lost;
     exit 1
-  end
+  end;
+  if not (speedup_ok && cache_ok) then exit 1
+
+(* ---------- entry point ---------- *)
+
+let run rate requests warmup duration socket serve_bin jobs replicas result_cache replica_bench
+    deadline_ms grid structures json_path =
+  if rate <= 0.0 then begin
+    Format.eprintf "cdr_load: --rate must be positive@.";
+    exit 2
+  end;
+  if requests < 1 then begin
+    Format.eprintf "cdr_load: --requests must be >= 1@.";
+    exit 2
+  end;
+  if warmup < 0 then begin
+    Format.eprintf "cdr_load: --warmup must be >= 0@.";
+    exit 2
+  end;
+  match replica_bench with
+  | Some n when n < 2 ->
+      Format.eprintf "cdr_load: --replica-bench must be >= 2@.";
+      exit 2
+  | Some n -> replica_bench_run ~n ~serve_bin ~grid ~json_path
+  | None ->
+      let spawn_args =
+        (match jobs with Some j -> [ "--jobs"; string_of_int j ] | None -> [])
+        @ (match replicas with Some r -> [ "--replicas"; string_of_int r ] | None -> [])
+        @
+        match result_cache with
+        | Some c -> [ "--result-cache"; string_of_int c ]
+        | None -> []
+      in
+      let s =
+        run_session ~rate ~requests ~warmup ~duration ~socket ~serve_bin ~spawn_args
+          ~deadline_ms ~grid ~structures ()
+      in
+      let path = bench_path json_path in
+      merge_section path "serve.load" (session_report ~rate s);
+      print_session ~rate s;
+      Format.printf "report merged into %s@." path;
+      (* a lost response is a bug in the server's reply accounting; fail loudly *)
+      if s.s_lost > 0 then begin
+        Format.eprintf "cdr_load: %d requests were never answered@." s.s_lost;
+        exit 1
+      end
 
 let cmd =
   let doc = "Open-loop load generator for the cdr_serve analysis service" in
@@ -331,16 +664,19 @@ let cmd =
          structures) at a fixed target rate, without waiting for responses — so server-side \
          queueing shows up as client-side latency instead of being absorbed by the generator. \
          Reports throughput, per-kind latency percentiles (measured from each request's \
-         scheduled send instant) and error-code counts, as one JSON object, plus the server's \
-         own \"stats\" snapshot taken at the end of the session.";
+         scheduled send instant) and error-code counts, as one JSON section merged into the \
+         BENCH report, plus the server's own \"stats\" snapshot taken at the end of the \
+         session (with one row per worker replica when serving via --replicas).";
       `S Manpage.s_examples;
-      `Pre "  \\$ cdr_load --rate 50 -n 200 --json /tmp/load.json";
+      `Pre "  \\$ cdr_load --rate 50 -n 200 --warmup 10 --json /tmp/load.json";
+      `Pre "  \\$ cdr_load --duration 5 --rate 40 --replicas 4 --result-cache 256";
+      `Pre "  \\$ cdr_load --replica-bench 4";
     ]
   in
   Cmd.v
     (Cmd.info "cdr_load" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ rate $ requests $ socket $ serve_bin $ jobs $ deadline_ms $ grid $ structures
-      $ json_path)
+      const run $ rate $ requests $ warmup $ duration $ socket $ serve_bin $ jobs $ replicas
+      $ result_cache $ replica_bench $ deadline_ms $ grid $ structures $ json_path)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,11 @@
 (* JSON-lines analysis server: one request per input line, one response per
    line back. Stdin/stdout by default, a Unix-domain stream socket with
-   --socket. See Cdr_svc.Protocol for the request/response format. *)
+   --socket. See Cdr_svc.Protocol for the request/response format.
+
+   --replicas N turns this process into an acceptor/router that forks N
+   worker replicas of itself (each re-executed with --replica-worker) and
+   routes requests by rendezvous hash of their structure key; --result-cache
+   layers a params-keyed response memoization cache in front of solving. *)
 
 open Cmdliner
 
@@ -15,14 +20,17 @@ let socket =
 let queue_bound =
   let doc =
     "Maximum number of admitted-but-not-yet-executing requests. Requests beyond the bound are \
-     refused immediately with an $(b,overloaded) error instead of queuing unboundedly."
+     refused immediately with an $(b,overloaded) error instead of queuing unboundedly. With \
+     $(b,--replicas) the bound applies per replica (the router keeps at most $(docv) requests \
+     in flight on each worker)."
   in
   Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N" ~doc)
 
 let jobs =
   let doc =
     "Worker domains for the solver kernels (parallelism lives inside a request; requests \
-     execute one at a time). Default: serial."
+     execute one at a time). Default: serial. With $(b,--replicas) each worker replica gets \
+     its own pool of $(docv) domains."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
@@ -34,6 +42,40 @@ let default_deadline_ms =
   in
   Arg.(value & opt (some float) None & info [ "default-deadline-ms" ] ~docv:"MS" ~doc)
 
+let replicas =
+  let doc =
+    "Fork $(docv) worker replica processes and route requests to them by rendezvous hash of \
+     their parameter structure key, so each replica's solver caches stay hot for the keys it \
+     owns. A crashed replica is respawned and its in-flight requests are answered with \
+     $(b,internal) errors; requests are re-routed to survivors meanwhile. Default: 1 (serve \
+     in-process, no router)."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc)
+
+let result_cache =
+  let doc =
+    "Memoize full responses keyed on the canonical parameter encoding: a repeated identical \
+     request (same kind, payload and params, no $(b,hold_ms)) is answered from the cache, \
+     byte-identical to the cold solve. With $(b,--replicas) the cache lives in the router and \
+     is shared by all replicas. $(docv) bounds the entry count (LRU)."
+  in
+  Arg.(value & opt (some int) None & info [ "result-cache" ] ~docv:"CAP" ~doc)
+
+let persist =
+  let doc =
+    "Persist the result cache to $(docv): load it on startup (a missing file is an empty \
+     cache) and write it back on clean shutdown. Implies $(b,--result-cache) with its default \
+     capacity unless one is given."
+  in
+  Arg.(value & opt (some string) None & info [ "persist" ] ~docv:"PATH" ~doc)
+
+let replica_worker =
+  let doc =
+    "Internal: run as worker replica number $(docv) under a router (stdio transport, metrics \
+     labeled $(b,replica)=$(docv)). Spawned by $(b,--replicas); not meant to be used directly."
+  in
+  Arg.(value & opt (some int) None & info [ "replica-worker" ] ~docv:"I" ~doc)
+
 let summary =
   let doc =
     "On exit, print the metrics registry (request counts, latency histograms, queue depth, \
@@ -41,9 +83,14 @@ let summary =
   in
   Arg.(value & flag & info [ "summary" ] ~doc)
 
-let run socket queue_bound jobs default_deadline_ms summary =
+let run socket queue_bound jobs default_deadline_ms replicas result_cache persist replica_worker
+    summary =
   if queue_bound < 1 then begin
     Format.eprintf "cdr_serve: --queue-bound must be >= 1@.";
+    exit 2
+  end;
+  if replicas < 1 then begin
+    Format.eprintf "cdr_serve: --replicas must be >= 1@.";
     exit 2
   end;
   (match jobs with
@@ -51,11 +98,35 @@ let run socket queue_bound jobs default_deadline_ms summary =
       Format.eprintf "cdr_serve: --jobs must be >= 1@.";
       exit 2
   | _ -> ());
+  (match result_cache with
+  | Some c when c < 1 ->
+      Format.eprintf "cdr_serve: --result-cache must be >= 1@.";
+      exit 2
+  | _ -> ());
   Cdr_obs.Sink.init_from_env ();
-  let cfg = { Cdr_svc.Server.queue_bound; jobs; default_deadline_ms } in
-  (match socket with
-  | None -> Cdr_svc.Server.run_stdio cfg
-  | Some path -> Cdr_svc.Server.run_socket ~path cfg);
+  let results =
+    match (result_cache, persist, replica_worker) with
+    | _, _, Some _ -> None (* workers never memoize; the router does *)
+    | None, None, None -> None
+    | capacity, Some path, None -> Some (Cdr_svc.Result_cache.load ?capacity path)
+    | Some capacity, None, None -> Some (Cdr_svc.Result_cache.create ~capacity ())
+  in
+  let cfg =
+    { Cdr_svc.Server.queue_bound; jobs; default_deadline_ms; replica = None; results }
+  in
+  (match replica_worker with
+  | Some r -> Cdr_svc.Replica.run ~replica:r cfg
+  | None -> (
+      let service =
+        if replicas > 1 then Cdr_svc.Router.create ~replicas cfg
+        else Cdr_svc.Server.local_service cfg
+      in
+      match socket with
+      | None -> Cdr_svc.Server.run_stdio_service service
+      | Some path -> Cdr_svc.Server.run_socket_service ~path service));
+  (match (results, persist) with
+  | Some rc, Some path -> Cdr_svc.Result_cache.save rc path
+  | _ -> ());
   if summary then Format.eprintf "%a@." Cdr_obs.Metrics.pp ();
   Cdr_obs.Sink.close_all ()
 
@@ -71,15 +142,23 @@ let cmd =
          Same-structure requests arriving together are batched so they share one cached \
          multigrid setup and in-place model rebuilds.";
       `P
+        "With $(b,--replicas N) the process becomes an acceptor/router over N forked worker \
+         replicas: requests sharing a parameter structure always land on the same replica \
+         (rendezvous hashing), a $(b,stats) request aggregates every replica's snapshot, and \
+         $(b,--result-cache) shares one response memoization cache across all of them.";
+      `P
         "SIGTERM (or end of input in stdio mode) drains every admitted request, answers each, \
          and exits 0.";
       `S Manpage.s_examples;
       `Pre
         "  \\$ echo '{\"id\":\"r1\",\"kind\":\"analyze\",\"params\":{\"grid\":64}}' | cdr_serve";
+      `Pre "  \\$ cdr_serve --socket /tmp/cdr.sock --replicas 4 --result-cache 512";
     ]
   in
   Cmd.v
     (Cmd.info "cdr_serve" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ socket $ queue_bound $ jobs $ default_deadline_ms $ summary)
+    Term.(
+      const run $ socket $ queue_bound $ jobs $ default_deadline_ms $ replicas $ result_cache
+      $ persist $ replica_worker $ summary)
 
 let () = exit (Cmd.eval cmd)

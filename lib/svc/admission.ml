@@ -1,16 +1,26 @@
 type 'a t = {
   bound : int;
+  labels : (string * string) list;
   q : 'a Queue.t;
   mu : Mutex.t;
   cond : Condition.t;
   mutable closed : bool;
 }
 
-let create ~bound =
+let create ?(labels = []) ~bound () =
   if bound < 1 then invalid_arg "Admission.create: bound must be >= 1";
-  { bound; q = Queue.create (); mu = Mutex.create (); cond = Condition.create (); closed = false }
+  {
+    bound;
+    labels;
+    q = Queue.create ();
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    closed = false;
+  }
 
-let set_depth t = Cdr_obs.Metrics.set_gauge "serve.queue_depth" (float_of_int (Queue.length t.q))
+let set_depth t =
+  Cdr_obs.Metrics.set_gauge ~labels:t.labels "serve.queue_depth"
+    (float_of_int (Queue.length t.q))
 
 let with_lock t f =
   Mutex.lock t.mu;

@@ -10,12 +10,15 @@
     of unbounded latency.
 
     The current depth is mirrored into the ["serve.queue_depth"] gauge on
-    every mutation. *)
+    every mutation, carrying the queue's [labels] — a worker replica
+    passes [("replica", i)] so per-replica depth is attributable when the
+    stats of several replicas are aggregated. *)
 
 type 'a t
 
-val create : bound:int -> 'a t
-(** Raises [Invalid_argument] when [bound < 1]. *)
+val create : ?labels:(string * string) list -> bound:int -> unit -> 'a t
+(** Raises [Invalid_argument] when [bound < 1]. [labels] (default none)
+    tag the ["serve.queue_depth"] gauge. *)
 
 val push : 'a t -> 'a -> [ `Ok | `Overloaded | `Closed ]
 (** Non-blocking enqueue. [`Overloaded] when the queue already holds

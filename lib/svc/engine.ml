@@ -1,15 +1,27 @@
 type t = {
   pool : Cdr_par.Pool.t option;
   cache : Cdr.Solver_cache.t;
+  results : Result_cache.t option;
+  replica : int option;
+  (* extra labels stamped on every per-request series ([serve.requests],
+     [serve.latency_seconds], [serve.stage_seconds]): a worker replica
+     carries [replica=<i>] so the quantile machinery attributes latency
+     per replica once several workers' stats are aggregated *)
+  labels : (string * string) list;
   mutable last_model : (string * Cdr.Model.t) option;
   mutable last_kron : (string * Cdr.Kron_model.t) option;
 }
 
-let create ?pool ?cache () =
+let create ?pool ?cache ?results ?replica () =
   let cache = match cache with Some c -> c | None -> Cdr.Solver_cache.create () in
-  { pool; cache; last_model = None; last_kron = None }
+  let labels =
+    match replica with Some r -> [ ("replica", string_of_int r) ] | None -> []
+  in
+  { pool; cache; results; replica; labels; last_model = None; last_kron = None }
 
 let cache t = t.cache
+
+let results t = t.results
 
 type job = {
   request : Protocol.request;
@@ -120,20 +132,35 @@ let stats_payload t =
       0.0 series
   in
   Cdr_obs.Jsonl.Obj
-    [
-      ("uptime_s", num (Cdr_obs.Clock.elapsed ()));
-      ("queue_depth", num queue_depth);
-      ("requests", List requests);
-      ("latency_seconds", List latency);
-      ( "cache",
-        Obj
+    ([
+       ("uptime_s", num (Cdr_obs.Clock.elapsed ()));
+       ("queue_depth", num queue_depth);
+       ("requests", List requests);
+       ("latency_seconds", List latency);
+       ( "cache",
+         Obj
+           [
+             ("hits", int_num (Cdr.Solver_cache.hits t.cache));
+             ("misses", int_num (Cdr.Solver_cache.misses t.cache));
+             ("evictions", int_num (Cdr.Solver_cache.evictions t.cache));
+             ("entries", int_num (Cdr.Solver_cache.length t.cache));
+           ] );
+     ]
+    @ (match t.results with
+      | Some rc ->
           [
-            ("hits", int_num (Cdr.Solver_cache.hits t.cache));
-            ("misses", int_num (Cdr.Solver_cache.misses t.cache));
-            ("evictions", int_num (Cdr.Solver_cache.evictions t.cache));
-            ("entries", int_num (Cdr.Solver_cache.length t.cache));
-          ] );
-    ]
+            ( "result_cache",
+              Cdr_obs.Jsonl.Obj
+                [
+                  ("hits", int_num (Result_cache.hits rc));
+                  ("misses", int_num (Result_cache.misses rc));
+                  ("evictions", int_num (Result_cache.evictions rc));
+                  ("entries", int_num (Result_cache.length rc));
+                ] );
+          ]
+      | None -> [])
+    @ (match t.replica with Some r -> [ ("replica", int_num r) ] | None -> [])
+    @ [ ("pid", int_num (Unix.getpid ())) ])
 
 (* The kron model itself is rebuilt per request — factor matrices are a few
    KB, the build is O(grid) table work — but the IAD solver setup it memoizes
@@ -280,7 +307,7 @@ let handle t job =
     job.reply response;
     let now = Cdr_obs.Clock.monotonic () in
     stage "serialize" (now -. t0);
-    let labels = [ ("kind", kname); ("status", status) ] in
+    let labels = ("kind", kname) :: ("status", status) :: t.labels in
     List.iter
       (fun (s, dt) ->
         Cdr_obs.Metrics.observe
@@ -314,6 +341,21 @@ let handle t job =
       in
       if expired () then fail `Timeout "deadline exceeded before solve"
       else
+        (* result memoization, in front of config validation and solving:
+           a repeated identical request replays the stored response under
+           its own id (byte-identical to the cold solve, see
+           {!Result_cache}) and never touches the model layer *)
+        let memo_key =
+          match t.results with Some _ -> Protocol.cache_key req | None -> None
+        in
+        let memo_hit =
+          match (memo_key, t.results) with
+          | Some key, Some rc -> Result_cache.find rc key
+          | _ -> None
+        in
+        match memo_hit with
+        | Some stored -> finish "ok" (Protocol.response_with_id stored req.Protocol.id)
+        | None -> (
         match Params.to_config req.Protocol.params with
         | Error msg -> fail `Bad_request msg
         | Ok config -> (
@@ -338,16 +380,22 @@ let handle t job =
             match run () with
             | (payload, degraded), dt ->
                 stage "solve" dt;
-                finish "ok"
-                  (Protocol.ok_response ~id:req.Protocol.id ~kind:req.Protocol.kind ~degraded
-                     ~cache_hits:(Cdr.Solver_cache.hits t.cache - hits0)
-                     ~cache_misses:(Cdr.Solver_cache.misses t.cache - misses0)
-                     ~elapsed_ms:((Cdr_obs.Clock.monotonic () -. started) *. 1e3)
-                     payload)
+                let response =
+                  Protocol.ok_response ~id:req.Protocol.id ~kind:req.Protocol.kind ~degraded
+                    ~cache_hits:(Cdr.Solver_cache.hits t.cache - hits0)
+                    ~cache_misses:(Cdr.Solver_cache.misses t.cache - misses0)
+                    ~elapsed_ms:((Cdr_obs.Clock.monotonic () -. started) *. 1e3)
+                    payload
+                in
+                (match (memo_key, t.results) with
+                | Some key, Some rc ->
+                    Result_cache.store rc key (Protocol.response_sans_id response)
+                | _ -> ());
+                finish "ok" response
             | exception Unsupported msg -> fail `Bad_request msg
             | exception Markov.Multigrid.Cancelled ->
                 fail `Timeout "deadline exceeded during solve"
-            | exception exn -> fail `Internal (Printexc.to_string exn)))
+            | exception exn -> fail `Internal (Printexc.to_string exn))))
 
 let process t jobs =
   (* group by structure key so same-structure requests run back to back and

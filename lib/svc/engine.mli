@@ -17,11 +17,28 @@
 
 type t
 
-val create : ?pool:Cdr_par.Pool.t -> ?cache:Cdr.Solver_cache.t -> unit -> t
+val create :
+  ?pool:Cdr_par.Pool.t ->
+  ?cache:Cdr.Solver_cache.t ->
+  ?results:Result_cache.t ->
+  ?replica:int ->
+  unit ->
+  t
 (** [?cache] defaults to a fresh {!Cdr.Solver_cache.create} (exposed so
-    tests can assert on hit counts). *)
+    tests can assert on hit counts). [?results] plugs in a result
+    memoization cache: cacheable requests (see {!Protocol.cache_key}) are
+    looked up before config validation and solving, a hit replays the
+    stored response byte-identically under the request's id, and every ok
+    response is stored back — traffic lands on
+    ["serve.result_cache"{result=hit|miss|evict}]. [?replica] stamps a
+    [replica=<i>] label on the per-request series
+    (["serve.requests"]/["serve.latency_seconds"]/["serve.stage_seconds"])
+    and adds [replica]/[pid] fields to the stats payload, so a router
+    aggregating several workers can attribute latency per replica. *)
 
 val cache : t -> Cdr.Solver_cache.t
+
+val results : t -> Result_cache.t option
 
 type job = {
   request : Protocol.request;

@@ -128,6 +128,62 @@ let parse_request line =
       | None -> Error (None, "missing request field \"id\""))
   | _ -> Error (None, "request must be a JSON object")
 
+(* Re-encode a request for forwarding: the router parses a client line
+   once (for routing and cache keys), rewrites the id to its internal
+   correlation id, and sends this canonical form to the worker. [params]
+   is the full {!Params.to_json} object, so defaults survive the hop
+   unchanged and {!parse_request} round-trips the record exactly. *)
+let request_json req =
+  let num f = Cdr_obs.Jsonl.Num f in
+  let kind_fields =
+    match req.kind with
+    | Sweep ls -> [ ("lengths", Cdr_obs.Jsonl.List (List.map (fun i -> num (float_of_int i)) ls)) ]
+    | Sigma vs -> [ ("values", Cdr_obs.Jsonl.List (List.map num vs)) ]
+    | Analyze | Slip | Stats -> []
+  in
+  let opt name = function Some v -> [ (name, num v) ] | None -> [] in
+  Cdr_obs.Jsonl.Obj
+    ([ ("id", Cdr_obs.Jsonl.Str req.id); ("kind", Str (kind_name req.kind)) ]
+    @ kind_fields @ opt "deadline_ms" req.deadline_ms @ opt "hold_ms" req.hold_ms
+    @ [ ("params", Params.to_json req.params) ])
+
+(* The result-memoization key: canonical (kind + kind payload + full params
+   encoding). [None] marks a request whose response must not be replayed:
+   [Stats] (a live snapshot) and anything carrying [hold_ms] (the
+   fault-injection knob exists to burn wall time — memoizing it away would
+   defeat the load tests that use it). [deadline_ms] is deliberately
+   excluded: it shapes {e whether} a response is produced in time, never
+   its content, and only ok responses are stored. *)
+let cache_key req =
+  match (req.kind, req.hold_ms) with
+  | Stats, _ | _, Some _ -> None
+  | kind, None ->
+      let payload =
+        match kind with
+        | Sweep ls -> "[" ^ String.concat "," (List.map string_of_int ls) ^ "]"
+        | Sigma vs -> "[" ^ String.concat "," (List.map (Printf.sprintf "%h") vs) ^ "]"
+        | Analyze | Slip | Stats -> ""
+      in
+      Some
+        (kind_name kind ^ payload ^ "|"
+        ^ Cdr_obs.Jsonl.to_string (Params.to_json req.params))
+
+(* Both response constructors put "id" first, so stripping it and
+   re-prepending a new one reproduces the original byte layout — the
+   property the result cache's byte-identical-hit guarantee rests on. *)
+let response_sans_id = function
+  | Cdr_obs.Jsonl.Obj fields -> Cdr_obs.Jsonl.Obj (List.filter (fun (k, _) -> k <> "id") fields)
+  | other -> other
+
+let response_with_id json id =
+  match response_sans_id json with
+  | Cdr_obs.Jsonl.Obj fields -> Cdr_obs.Jsonl.Obj (("id", Str id) :: fields)
+  | other -> other
+
+let response_id json = Option.bind (Cdr_obs.Jsonl.member "id" json) Cdr_obs.Jsonl.to_str
+
+let response_ok json = Cdr_obs.Jsonl.member "ok" json = Some (Cdr_obs.Jsonl.Bool true)
+
 let ok_response ~id ~kind ~degraded ~cache_hits ~cache_misses ~elapsed_ms result =
   Cdr_obs.Jsonl.Obj
     [

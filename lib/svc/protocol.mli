@@ -75,6 +75,34 @@ val parse_request : string -> (request, string option * string) result
     kind/field mismatches (["lengths"] outside [sweep], ["values"] outside
     [sigma]) and parameter errors (see {!Params.of_json}). *)
 
+val request_json : request -> Cdr_obs.Jsonl.t
+(** Canonical re-encoding: id, kind (plus its [lengths]/[values] payload),
+    any deadline/hold fields, and the {e full} {!Params.to_json} object.
+    [parse_request (to_string (request_json r))] returns [r] exactly — the
+    forwarding frame the router sends to a worker replica after rewriting
+    the id to its internal correlation id. *)
+
+val cache_key : request -> string option
+(** Result-memoization key: canonical over kind, kind payload and the full
+    params encoding; equal keys guarantee an identical response payload.
+    [None] for [Stats] (a live snapshot) and for requests carrying
+    [hold_ms] (fault injection must burn real wall time); [deadline_ms]
+    never enters the key — it decides whether a response arrives in time,
+    not what it contains. *)
+
+val response_sans_id : Cdr_obs.Jsonl.t -> Cdr_obs.Jsonl.t
+(** The response with its ["id"] field removed — the form the result cache
+    stores. *)
+
+val response_with_id : Cdr_obs.Jsonl.t -> string -> Cdr_obs.Jsonl.t
+(** Re-attach an id (replacing any present) in first position — the byte
+    layout both response constructors produce, so a cached response
+    replayed under the original id is byte-identical to the cold one. *)
+
+val response_id : Cdr_obs.Jsonl.t -> string option
+
+val response_ok : Cdr_obs.Jsonl.t -> bool
+
 val ok_response :
   id:string ->
   kind:kind ->

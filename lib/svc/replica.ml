@@ -1,0 +1,18 @@
+let argv ~bin ~replica (cfg : Server.config) =
+  let base =
+    [ bin; "--replica-worker"; string_of_int replica; "--queue-bound";
+      string_of_int cfg.queue_bound ]
+  in
+  let jobs = match cfg.jobs with Some j -> [ "--jobs"; string_of_int j ] | None -> [] in
+  let deadline =
+    match cfg.default_deadline_ms with
+    | Some ms -> [ "--default-deadline-ms"; Printf.sprintf "%g" ms ]
+    | None -> []
+  in
+  Array.of_list (base @ jobs @ deadline)
+
+let run ~replica (cfg : Server.config) =
+  (* the worker is a plain stdio server over its own engine and solver
+     cache; result memoization stays in the router so all replicas share
+     one params-keyed cache *)
+  Server.run_stdio { cfg with replica = Some replica; results = None }

@@ -1,0 +1,24 @@
+(** The worker side of multi-replica serving.
+
+    A replica is this same binary re-executed with [--replica-worker <i>]:
+    a plain stdio {!Server} over its own {!Engine} (own solver cache, own
+    model memo), reading requests from stdin and answering on stdout —
+    both ends of the socketpair the {!Router} holds. Result memoization is
+    deliberately {e not} enabled here: the params-keyed cache lives in the
+    router so one replica's solve is a hit for every client, whatever
+    replica its key routes to.
+
+    Shutdown follows the stdio server's contract: when the router
+    half-closes its end the worker sees EOF, drains every admitted
+    request, answers each, and exits 0 — which is what lets the router
+    distinguish a drain (EOF after shutdown) from a crash (EOF with
+    requests still pending). *)
+
+val argv : bin:string -> replica:int -> Server.config -> string array
+(** The exec vector the router spawns worker [replica] with: [bin
+    --replica-worker <i>] plus the subset of [config] a worker inherits
+    ([--queue-bound], [--jobs], [--default-deadline-ms]). *)
+
+val run : replica:int -> Server.config -> unit
+(** Entry point for the [--replica-worker] mode: {!Server.run_stdio} with
+    [replica] set (labels every metric series) and [results] forced off. *)

@@ -1,0 +1,475 @@
+(* ---------- rendezvous hashing ---------- *)
+
+(* FNV-1a, 64-bit: platform-stable (no dependence on OCaml's seeded
+   Hashtbl.hash), so a key routes to the same replica across runs and
+   across machines — which is what makes routing decisions reproducible
+   in tests and keeps disk-persisted affinity meaningful *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+(* the replica salt goes in FRONT of the key: a trailing salt only passes
+   through FNV's final multiply once and barely perturbs the score ordering
+   across replicas (empirically, 4 replicas with a suffix salt leave half
+   of them owning nothing); a leading salt diffuses through every
+   subsequent byte *)
+let score ~key i = fnv1a64 ("replica=" ^ string_of_int i ^ "|" ^ key)
+
+(* Highest-random-weight: every (key, replica) pair gets a deterministic
+   score and the key goes to the live replica with the highest one. Losing
+   a replica re-routes only the keys it owned (each falls to its
+   second-highest scorer); every other key keeps its cache-hot home. *)
+let route ?(dead = fun _ -> false) ~replicas key =
+  let best = ref (-1) and best_score = ref 0L in
+  for i = 0 to replicas - 1 do
+    if not (dead i) then begin
+      let s = score ~key i in
+      if !best < 0 || Int64.unsigned_compare s !best_score > 0 then begin
+        best := i;
+        best_score := s
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+(* ---------- worker bookkeeping ---------- *)
+
+type worker = {
+  index : int;
+  mutable fd : Unix.file_descr;
+  mutable oc : out_channel;
+  mutable pid : int;
+  mutable alive : bool;
+  mutable gen : int;  (* bumped per spawn; stale reader threads no-op *)
+  mutable inflight : int;
+  mutable spawned_at : float;
+  mutable fast_crashes : int;
+  mutable down : bool;  (* crash-looping: gave up respawning *)
+}
+
+(* what a worker response (or the worker's death) resolves to *)
+type target =
+  | Reply of {
+      orig_id : string;
+      write : Cdr_obs.Jsonl.t -> unit;
+      cache_key : string option;
+    }
+  | Stat of stats_agg
+
+and stats_agg = {
+  s_id : string;
+  s_write : Cdr_obs.Jsonl.t -> unit;
+  mutable s_waiting : int;
+  mutable s_rows : Cdr_obs.Jsonl.t list;  (* newest first; reversed on emit *)
+}
+
+type t = {
+  cfg : Server.config;
+  replicas : int;
+  worker_argv : int -> string array;
+  workers : worker array;
+  pending : (string, int * target) Hashtbl.t;  (* internal id -> (worker, target) *)
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable seq : int;
+  mutable shutting_down : bool;
+  mutable deaths : int;
+  mutable respawns : int;
+}
+
+let set_inflight_gauge w =
+  Cdr_obs.Metrics.set_gauge
+    ~labels:[ ("replica", string_of_int w.index) ]
+    "serve.router_inflight"
+    (float_of_int w.inflight)
+
+(* a worker that died 3 times within 0.5 s of spawning is crash-looping
+   (bad flags, missing binary, instant segfault): stop respawning it so the
+   router degrades to the surviving replicas instead of forking in a loop *)
+let fast_crash_window = 0.5
+let fast_crash_limit = 3
+
+let router_result t =
+  let alive = Array.fold_left (fun n w -> if w.alive then n + 1 else n) 0 t.workers in
+  let int_num i = Cdr_obs.Jsonl.Num (float_of_int i) in
+  let down = Array.fold_left (fun n w -> if w.down then n + 1 else n) 0 t.workers in
+  Cdr_obs.Jsonl.Obj
+    ([
+       ("replicas", int_num t.replicas);
+       ("alive", int_num alive);
+       ("down", int_num down);
+       ("deaths", int_num t.deaths);
+       ("respawns", int_num t.respawns);
+     ]
+    @
+    match t.cfg.Server.results with
+    | Some rc ->
+        [
+          ( "result_cache",
+            Cdr_obs.Jsonl.Obj
+              [
+                ("hits", int_num (Result_cache.hits rc));
+                ("misses", int_num (Result_cache.misses rc));
+                ("evictions", int_num (Result_cache.evictions rc));
+                ("entries", int_num (Result_cache.length rc));
+              ] );
+        ]
+    | None -> [])
+
+(* call with t.mu held; emits nothing itself — returns the response to
+   write after unlocking (client writes can block on a slow consumer and
+   must not hold the router lock) *)
+let stats_response t agg =
+  Cdr_obs.Jsonl.Obj
+    [
+      ("id", Str agg.s_id);
+      ("ok", Bool true);
+      ("kind", Str "stats");
+      ( "result",
+        Obj
+          [
+            ("uptime_s", Num (Cdr_obs.Clock.elapsed ()));
+            ("router", router_result t);
+            ("replicas", List (List.rev agg.s_rows));
+          ] );
+    ]
+
+(* ---------- spawning and the per-worker reader ---------- *)
+
+let send_locked w json =
+  try
+    output_string w.oc (Cdr_obs.Jsonl.to_string json);
+    output_char w.oc '\n';
+    flush w.oc
+  with Sys_error _ | Unix.Unix_error _ ->
+    (* the worker just died mid-write; its reader thread is about to see
+       EOF and will fail everything pending on it — nothing hangs *)
+    ()
+
+let resolve_stat_locked t agg =
+  agg.s_waiting <- agg.s_waiting - 1;
+  if agg.s_waiting = 0 then Some (agg.s_write, stats_response t agg) else None
+
+let rec spawn_locked t w =
+  let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* every router-held fd is CLOEXEC so a replica spawned later does not
+     inherit its siblings' socketpairs — a worker holding a copy of
+     another's fd would keep that worker's EOF from ever arriving *)
+  Unix.set_close_on_exec parent;
+  let argv = t.worker_argv w.index in
+  let pid = Unix.create_process argv.(0) argv child child Unix.stderr in
+  Unix.close child;
+  w.fd <- parent;
+  w.oc <- Unix.out_channel_of_descr parent;
+  w.pid <- pid;
+  w.alive <- true;
+  w.gen <- w.gen + 1;
+  w.inflight <- 0;
+  w.spawned_at <- Cdr_obs.Clock.monotonic ();
+  set_inflight_gauge w;
+  let gen = w.gen and ic = Unix.in_channel_of_descr parent in
+  ignore (Thread.create (fun () -> reader t w gen ic) ())
+
+and reader t w gen ic =
+  match input_line ic with
+  | line ->
+      on_response t w gen line;
+      reader t w gen ic
+  | exception (End_of_file | Sys_error _) -> on_death t w gen
+
+and on_response t w gen line =
+  let json = try Some (Cdr_obs.Jsonl.of_string line) with Failure _ -> None in
+  match Option.bind json Protocol.response_id with
+  | None -> ()  (* not a correlatable frame; drop *)
+  | Some iid -> (
+      let json = Option.get json in
+      Mutex.lock t.mu;
+      if w.gen <> gen then Mutex.unlock t.mu
+      else
+        match Hashtbl.find_opt t.pending iid with
+        | None -> Mutex.unlock t.mu
+        | Some (_, target) ->
+            Hashtbl.remove t.pending iid;
+            w.inflight <- w.inflight - 1;
+            set_inflight_gauge w;
+            let action =
+              match target with
+              | Reply { orig_id; write; cache_key } ->
+                  Some (write, Protocol.response_with_id json orig_id, cache_key)
+              | Stat agg -> (
+                  agg.s_rows <-
+                    Option.value
+                      (Cdr_obs.Jsonl.member "result" json)
+                      ~default:(Protocol.response_sans_id json)
+                    :: agg.s_rows;
+                  match resolve_stat_locked t agg with
+                  | Some (write, resp) -> Some (write, resp, None)
+                  | None -> None)
+            in
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mu;
+            (match action with
+            | Some (write, resp, cache_key) ->
+                (match (cache_key, t.cfg.Server.results) with
+                | Some key, Some rc when Protocol.response_ok resp ->
+                    Result_cache.store rc key (Protocol.response_sans_id resp)
+                | _ -> ());
+                write resp
+            | None -> ()))
+
+and on_death t w gen =
+  Mutex.lock t.mu;
+  if w.gen <> gen then Mutex.unlock t.mu
+  else begin
+    w.alive <- false;
+    let pid = w.pid in
+    (* everything still pending on this worker dies with it *)
+    let orphans =
+      Hashtbl.fold
+        (fun iid (wi, target) acc -> if wi = w.index then (iid, target) :: acc else acc)
+        t.pending []
+    in
+    List.iter (fun (iid, _) -> Hashtbl.remove t.pending iid) orphans;
+    w.inflight <- 0;
+    set_inflight_gauge w;
+    let crashed = not t.shutting_down in
+    if crashed then begin
+      t.deaths <- t.deaths + 1;
+      Cdr_obs.Metrics.incr "serve.replica_deaths"
+        ~labels:[ ("replica", string_of_int w.index) ]
+    end;
+    (* resolve orphans while still holding the lock (stat aggregation
+       mutates shared state), collect the client writes for after *)
+    let writes =
+      List.filter_map
+        (fun (_, target) ->
+          match target with
+          | Reply { orig_id; write; _ } ->
+              Some
+                ( write,
+                  Protocol.error_response ~id:orig_id ~code:`Internal
+                    ~message:
+                      (Printf.sprintf "worker replica %d died mid-request" w.index)
+                    () )
+          | Stat agg -> (
+              match resolve_stat_locked t agg with
+              | Some (write, resp) -> Some (write, resp)
+              | None -> None))
+        orphans
+    in
+    (try Unix.close w.fd with Unix.Unix_error _ -> ());
+    if crashed then begin
+      let lived = Cdr_obs.Clock.monotonic () -. w.spawned_at in
+      if lived < fast_crash_window then w.fast_crashes <- w.fast_crashes + 1
+      else w.fast_crashes <- 0;
+      if w.fast_crashes >= fast_crash_limit then w.down <- true
+      else begin
+        t.respawns <- t.respawns + 1;
+        Cdr_obs.Metrics.incr "serve.replica_respawns"
+          ~labels:[ ("replica", string_of_int w.index) ];
+        spawn_locked t w
+      end
+    end;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    List.iter (fun (write, resp) -> write resp) writes
+  end
+
+(* ---------- the service ---------- *)
+
+let fresh_id t =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "r%08d" t.seq
+
+let refuse_shutting_down ~write req =
+  Cdr_obs.Metrics.incr "serve.requests"
+    ~labels:
+      [
+        ("kind", Protocol.kind_name req.Protocol.kind);
+        ("status", "overloaded");
+        ("replica", "router");
+      ];
+  write
+    (Protocol.error_response ~id:req.Protocol.id ~code:`Overloaded
+       ~message:"server is shutting down" ())
+
+let submit_stats t ~write req =
+  Mutex.lock t.mu;
+  if t.shutting_down then begin
+    Mutex.unlock t.mu;
+    refuse_shutting_down ~write req
+  end
+  else begin
+  let live = Array.to_list t.workers |> List.filter (fun w -> w.alive) in
+  let agg = { s_id = req.Protocol.id; s_write = write; s_waiting = List.length live; s_rows = [] } in
+  if live = [] then begin
+    (* all replicas crash-looped away: answer from the router alone *)
+    let resp = stats_response t { agg with s_waiting = 0 } in
+    Mutex.unlock t.mu;
+    write resp
+  end
+  else begin
+    (* stats fan out to every live replica (they bypass the per-worker
+       inflight cap: a snapshot must stay available under saturation) and
+       the responses aggregate into one per-replica breakdown *)
+    List.iter
+      (fun w ->
+        let iid = fresh_id t in
+        Hashtbl.replace t.pending iid (w.index, Stat agg);
+        w.inflight <- w.inflight + 1;
+        set_inflight_gauge w;
+        send_locked w (Protocol.request_json { req with Protocol.id = iid }))
+      live;
+    Mutex.unlock t.mu
+  end
+  end
+
+let submit_solve t ~write req =
+  let cache_key =
+    match t.cfg.Server.results with Some _ -> Protocol.cache_key req | None -> None
+  in
+  let memo_hit =
+    match (cache_key, t.cfg.Server.results) with
+    | Some key, Some rc -> Result_cache.find rc key
+    | _ -> None
+  in
+  match memo_hit with
+  | Some stored ->
+      Cdr_obs.Metrics.incr "serve.requests"
+        ~labels:
+          [
+            ("kind", Protocol.kind_name req.Protocol.kind);
+            ("status", "ok");
+            ("replica", "router");
+          ];
+      write (Protocol.response_with_id stored req.Protocol.id)
+  | None -> (
+      Mutex.lock t.mu;
+      if t.shutting_down then begin
+        Mutex.unlock t.mu;
+        refuse_shutting_down ~write req
+      end
+      else
+      let dead i = not t.workers.(i).alive in
+      match route ~dead ~replicas:t.replicas (Params.structure_key req.Protocol.params) with
+      | None ->
+          Mutex.unlock t.mu;
+          write
+            (Protocol.error_response ~id:req.Protocol.id ~code:`Internal
+               ~message:"no live worker replica" ())
+      | Some i ->
+          let w = t.workers.(i) in
+          (* cap inflight at the worker's own queue bound: the worker holds
+             one executing request plus bound-1 queued, so a forwarded
+             request is never refused downstream — backpressure surfaces
+             here, as the same "overloaded" the single-process server emits *)
+          if w.inflight >= t.cfg.Server.queue_bound then begin
+            Cdr_obs.Metrics.incr "serve.requests"
+              ~labels:
+                [
+                  ("kind", Protocol.kind_name req.Protocol.kind);
+                  ("status", "overloaded");
+                  ("replica", string_of_int i);
+                ];
+            Mutex.unlock t.mu;
+            write
+              (Protocol.error_response ~id:req.Protocol.id ~code:`Overloaded
+                 ~message:
+                   (Printf.sprintf "replica %d inflight limit reached (bound %d)" i
+                      t.cfg.Server.queue_bound)
+                 ())
+          end
+          else begin
+            let iid = fresh_id t in
+            Hashtbl.replace t.pending iid
+              (i, Reply { orig_id = req.Protocol.id; write; cache_key });
+            w.inflight <- w.inflight + 1;
+            set_inflight_gauge w;
+            send_locked w (Protocol.request_json { req with Protocol.id = iid });
+            Mutex.unlock t.mu
+          end)
+
+let submit_line t ~write line =
+  match Protocol.parse_request line with
+  | Error (id, message) ->
+      write (Protocol.error_response ?id ~code:`Bad_request ~message ())
+  | Ok req -> (
+      match req.Protocol.kind with
+      | Protocol.Stats -> submit_stats t ~write req
+      | _ -> submit_solve t ~write req)
+
+let shutdown t =
+  Mutex.lock t.mu;
+  if not t.shutting_down then begin
+    t.shutting_down <- true;
+    (* half-close: workers see stdin EOF, drain everything admitted,
+       answer each request, and exit; their responses still flow back on
+       the other half of the socketpair *)
+    Array.iter
+      (fun w ->
+        if w.alive then try Unix.shutdown w.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+      t.workers;
+    Condition.broadcast t.cond
+  end;
+  Mutex.unlock t.mu
+
+let run t =
+  Mutex.lock t.mu;
+  while
+    not
+      (t.shutting_down
+      && Hashtbl.length t.pending = 0
+      && Array.for_all (fun w -> not w.alive) t.workers)
+  do
+    Condition.wait t.cond t.mu
+  done;
+  Mutex.unlock t.mu
+
+let create ?(bin = Sys.executable_name) ~replicas cfg =
+  if replicas < 1 then invalid_arg "Router.create: replicas must be >= 1";
+  (* a worker death must surface as EOF on its reader, not as a fatal
+     signal when the router writes into the dead socketpair *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let t =
+    {
+      cfg;
+      replicas;
+      worker_argv = (fun i -> Replica.argv ~bin ~replica:i cfg);
+      workers =
+        Array.init replicas (fun index ->
+            {
+              index;
+              fd = Unix.stdin;
+              oc = stdout;
+              pid = -1;
+              alive = false;
+              gen = 0;
+              inflight = 0;
+              spawned_at = 0.;
+              fast_crashes = 0;
+              down = false;
+            });
+      pending = Hashtbl.create 64;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      seq = 0;
+      shutting_down = false;
+      deaths = 0;
+      respawns = 0;
+    }
+  in
+  Mutex.lock t.mu;
+  Array.iter (fun w -> spawn_locked t w) t.workers;
+  Mutex.unlock t.mu;
+  {
+    Server.submit_line = (fun ~write line -> submit_line t ~write line);
+    run = (fun () -> run t);
+    shutdown = (fun () -> shutdown t);
+  }

@@ -2,9 +2,25 @@ type config = {
   queue_bound : int;
   jobs : int option;
   default_deadline_ms : float option;
+  replica : int option;
+  results : Result_cache.t option;
 }
 
-(* ---------- pieces shared by both transports ---------- *)
+(* A transport-independent request sink: the stdio and socket front ends
+   feed lines into [submit_line] and run [run] on the main thread;
+   [shutdown] (SIGTERM, stdin EOF) stops admission and makes [run] return
+   once everything admitted has been answered. The local single-process
+   engine and the multi-replica router both implement this. *)
+type service = {
+  submit_line : write:(Cdr_obs.Jsonl.t -> unit) -> string -> unit;
+  run : unit -> unit;
+  shutdown : unit -> unit;
+}
+
+(* ---------- the local (single-process) service ---------- *)
+
+let replica_labels cfg =
+  match cfg.replica with Some r -> [ ("replica", string_of_int r) ] | None -> []
 
 (* deadlines are absolute monotonic times: producers stamp them here and the
    engine compares against the same clock, so an NTP step while a request is
@@ -31,7 +47,9 @@ let submit cfg queue ~write line =
       in
       let refuse message =
         Cdr_obs.Metrics.incr "serve.requests"
-          ~labels:[ ("kind", Protocol.kind_name req.Protocol.kind); ("status", "overloaded") ];
+          ~labels:
+            (("kind", Protocol.kind_name req.Protocol.kind)
+            :: ("status", "overloaded") :: replica_labels cfg);
         write (Protocol.error_response ~id:req.Protocol.id ~code:`Overloaded ~message ())
       in
       match Admission.push queue job with
@@ -51,38 +69,47 @@ let serve_loop engine queue =
   in
   loop ()
 
-(* Condition.wait / input_line / accept block in C, where signal handlers
-   cannot run; this thread's Thread.delay wakeups are the guaranteed
-   safepoints that let a pending SIGTERM actually execute its handler, after
-   which it closes admission and wakes the consumer. [finished] terminates
-   the ticker on a normal (EOF-driven) shutdown. *)
-let shutdown_ticker ~stop ~finished queue =
-  Thread.create
-    (fun () ->
-      while not (Atomic.get stop || Atomic.get finished) do
-        Thread.delay 0.05
-      done;
-      if Atomic.get stop then Admission.close queue)
-    ()
-
-let install_sigterm stop =
-  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
-
 let make_engine cfg =
   let pool =
     match cfg.jobs with
     | Some j when j > 1 -> Some (Cdr_par.Pool.create ~jobs:j ())
     | _ -> None
   in
-  Engine.create ?pool ()
+  Engine.create ?pool ?results:cfg.results ?replica:cfg.replica ()
+
+let local_service cfg =
+  let engine = make_engine cfg in
+  let queue = Admission.create ~labels:(replica_labels cfg) ~bound:cfg.queue_bound () in
+  {
+    submit_line = (fun ~write line -> submit cfg queue ~write line);
+    run = (fun () -> serve_loop engine queue);
+    shutdown = (fun () -> Admission.close queue);
+  }
+
+(* ---------- pieces shared by both transports ---------- *)
+
+(* Condition.wait / input_line / accept block in C, where signal handlers
+   cannot run; this thread's Thread.delay wakeups are the guaranteed
+   safepoints that let a pending SIGTERM actually execute its handler, after
+   which it triggers the service shutdown. [finished] terminates the ticker
+   on a normal (EOF-driven) shutdown. *)
+let shutdown_ticker ~stop ~finished svc =
+  Thread.create
+    (fun () ->
+      while not (Atomic.get stop || Atomic.get finished) do
+        Thread.delay 0.05
+      done;
+      if Atomic.get stop then svc.shutdown ())
+    ()
+
+let install_sigterm stop =
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
 
 (* ---------- stdio transport ---------- *)
 
-let run_stdio cfg =
+let run_stdio_service svc =
   let stop = Atomic.make false and finished = Atomic.make false in
   install_sigterm stop;
-  let engine = make_engine cfg in
-  let queue = Admission.create ~bound:cfg.queue_bound in
   let out_mu = Mutex.create () in
   let write json =
     Mutex.lock out_mu;
@@ -97,14 +124,14 @@ let run_stdio cfg =
         (try
            while not (Atomic.get stop) do
              let line = input_line stdin in
-             if String.trim line <> "" then submit cfg queue ~write line
+             if String.trim line <> "" then svc.submit_line ~write line
            done
          with End_of_file -> ());
-        Admission.close queue)
+        svc.shutdown ())
       ()
   in
-  let _ticker = shutdown_ticker ~stop ~finished queue in
-  serve_loop engine queue;
+  let _ticker = shutdown_ticker ~stop ~finished svc in
+  svc.run ();
   Atomic.set finished true;
   (* drain complete: every admitted request has been answered; push the
      tail of the telemetry stream out before the process is torn down *)
@@ -137,23 +164,26 @@ let conn_close_if_done c =
   Mutex.unlock c.mu;
   if close_now then try close_out c.oc with Sys_error _ | Unix.Unix_error _ -> ()
 
-let run_socket ~path cfg =
+let run_socket_service ~path svc =
   let stop = Atomic.make false and finished = Atomic.make false in
   install_sigterm stop;
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
-  let engine = make_engine cfg in
-  let queue = Admission.create ~bound:cfg.queue_bound in
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* connection fds must not leak into worker replicas respawned later: a
+     worker holding a duped client fd would keep that client's EOF from
+     ever arriving *)
+  Unix.set_close_on_exec sock;
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 16;
   let handle_conn fd =
+    Unix.set_close_on_exec fd;
     let ic = Unix.in_channel_of_descr fd in
     let c =
       { oc = Unix.out_channel_of_descr fd; mu = Mutex.create (); pending = 0; eof = false }
     in
-    (* [submit] writes exactly one response per line — synchronously for a
-       rejection, from the solve loop otherwise — so one pending count per
+    (* [submit_line] writes exactly one response per line — synchronously
+       for a rejection, later otherwise — so one pending count per
        non-empty line balances either way *)
     let reply json =
       conn_write c json;
@@ -169,7 +199,7 @@ let run_socket ~path cfg =
            Mutex.lock c.mu;
            c.pending <- c.pending + 1;
            Mutex.unlock c.mu;
-           submit cfg queue ~write:reply line
+           svc.submit_line ~write:reply line
          end
        done
      with End_of_file | Sys_error _ -> ());
@@ -189,9 +219,13 @@ let run_socket ~path cfg =
         with Unix.Unix_error _ | Sys_error _ -> ())
       ()
   in
-  let _ticker = shutdown_ticker ~stop ~finished queue in
-  serve_loop engine queue;
+  let _ticker = shutdown_ticker ~stop ~finished svc in
+  svc.run ();
   Atomic.set finished true;
   Cdr_obs.Sink.flush_all ();
   (try Unix.close sock with Unix.Unix_error _ -> ());
   if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
+
+let run_stdio cfg = run_stdio_service (local_service cfg)
+
+let run_socket ~path cfg = run_socket_service ~path (local_service cfg)

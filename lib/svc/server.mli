@@ -18,7 +18,12 @@
     Shutdown: SIGTERM (or stdin EOF in stdio mode) stops admission, the
     loop drains every already accepted request, replies to each, and both
     entry points return normally — the caller exits 0. Requests arriving
-    during the drain are refused with an ["overloaded"] error. *)
+    during the drain are refused with an ["overloaded"] error.
+
+    The transports are also exposed generically ({!run_stdio_service} /
+    {!run_socket_service}) over the {!service} record, so the
+    multi-replica {!Router} reuses the exact same connection plumbing,
+    shutdown ticker, and drain semantics as the single-process engine. *)
 
 type config = {
   queue_bound : int;
@@ -29,9 +34,35 @@ type config = {
           solves serially (no domains spawned) *)
   default_deadline_ms : float option;
       (** applied to requests that carry no ["deadline_ms"] *)
+  replica : int option;
+      (** when this process is worker replica [i] under a router: labels
+          the queue-depth gauge and per-request series with [replica=i] *)
+  results : Result_cache.t option;
+      (** params-keyed full-response memoization cache, consulted before
+          solving (see {!Engine.create}); [None] disables memoization *)
 }
 
+(** A transport-independent request sink. [submit_line] is called from a
+    reader thread with one raw request line and must eventually call
+    [write] exactly once with the response (immediately for a rejection);
+    [run] executes on the main thread until shutdown {e and} drain
+    complete; [shutdown] (idempotent, any thread) stops admission. *)
+type service = {
+  submit_line : write:(Cdr_obs.Jsonl.t -> unit) -> string -> unit;
+  run : unit -> unit;
+  shutdown : unit -> unit;
+}
+
+val local_service : config -> service
+(** The single-process implementation: an {!Engine} over an {!Admission}
+    queue, refusing with ["overloaded"] beyond [queue_bound]. *)
+
+val run_stdio_service : service -> unit
+
+val run_socket_service : path:string -> service -> unit
+
 val run_stdio : config -> unit
+(** [run_stdio cfg = run_stdio_service (local_service cfg)] *)
 
 val run_socket : path:string -> config -> unit
 (** Binds (and on exit unlinks) the socket at [path]; an existing file at

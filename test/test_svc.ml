@@ -121,7 +121,7 @@ let test_parse_reject () =
 (* ---------- Admission ---------- *)
 
 let test_admission_backpressure () =
-  let q = Cdr_svc.Admission.create ~bound:2 in
+  let q = Cdr_svc.Admission.create ~bound:2 () in
   check_bool "push 1" true (Cdr_svc.Admission.push q 1 = `Ok);
   check_bool "push 2" true (Cdr_svc.Admission.push q 2 = `Ok);
   check_bool "push 3 refused at bound 2" true (Cdr_svc.Admission.push q 3 = `Overloaded);
@@ -133,7 +133,7 @@ let test_admission_backpressure () =
   check_bool "pop after close on empty" true (Cdr_svc.Admission.pop q = None);
   (* closed but non-empty queues still drain: shutdown answers what it
      admitted *)
-  let q2 = Cdr_svc.Admission.create ~bound:2 in
+  let q2 = Cdr_svc.Admission.create ~bound:2 () in
   ignore (Cdr_svc.Admission.push q2 7);
   Cdr_svc.Admission.close q2;
   check_bool "pop drains queued work after close" true (Cdr_svc.Admission.pop q2 = Some 7);
