@@ -1,4 +1,4 @@
-.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron bench-ladder serve-smoke bench-load load-smoke replica-smoke clean
+.PHONY: all build test test-par fmt check bench-telemetry bench-scaling bench-json bench-smoke kron-smoke bench-kron bench-env bench-ladder serve-smoke bench-load load-smoke replica-smoke clean
 
 all: build
 
@@ -36,7 +36,7 @@ bench-telemetry:
 # times), the job count and the smoother choice, written to BENCH.json
 # (path overridable via CDR_BENCH_JSON).
 bench-json:
-	dune exec bench/main.exe -- smoke telemetry parallel scaling warm kernels
+	dune exec bench/main.exe -- smoke telemetry parallel scaling warm env kernels
 
 # CI bench smoke: the tiny deterministic section plus the MG-SCALING gate.
 # Counter deltas are exact integers and wall seconds are never asserted —
@@ -67,6 +67,17 @@ kron-smoke: build
 	dune exec bin/cdr_analyze.exe -- analyze --grid 64 --backend csr | grep '^COUNTER' > /tmp/csr_ber.txt
 	cmp /tmp/kron_ber.txt /tmp/csr_ber.txt
 	@echo "kron smoke: matrix-free solve verified, backends agree"
+
+# ENV-SCALING: 2- and 4-regime Markov-modulated environments composed with
+# the CDR chain on the default grid (CSR/kron backend parity of the
+# regime-weighted BER), plus the >=1e6-state composed rung through the
+# matrix-free backend reporting regime-conditional densities. The section
+# folds its assertions into the env.ladder_ok boolean gauge, so the guard
+# greps a boolean, not floats or wall times.
+bench-env:
+	CDR_BENCH_JSON=/tmp/bench_env.json dune exec bench/main.exe -- env
+	grep -q '"env.ladder_ok":1' /tmp/bench_env.json
+	@echo "env ladder: backend parity and the 1e6-state composed rung as expected"
 
 # The full KRON-SCALING ladder: build + apply cost and the avoided-CSR
 # footprint at grids 256..2048 (up to ~2M states), plus a beyond-the-wall

@@ -614,6 +614,129 @@ let exp_kron_smoke () =
     (if ok then "kron smoke ok: stochastic matrix-free apply at >= 2e5 states"
      else "KRON SMOKE FAILED")
 
+(* ---------- ENV-SCALING: Markov-modulated jitter environments ---------- *)
+
+(* a 4-regime environment for the scaling rungs: thermal state x aggressor
+   activity, mild diagonal-dominant switching *)
+let env4 =
+  Cdr_env.Env.create_exn ~name:"bursty-thermal"
+    ~regimes:
+      [|
+        Cdr_env.Env.regime "cool";
+        Cdr_env.Env.regime ~sigma_scale:1.15 "warm";
+        Cdr_env.Env.regime ~sigma_scale:1.6 "cool-burst";
+        Cdr_env.Env.regime ~sigma_scale:2.0 ~p01:0.45 ~p10:0.55 "warm-burst";
+      |]
+    ~switch:
+      [|
+        [| 0.90; 0.05; 0.04; 0.01 |];
+        [| 0.05; 0.90; 0.01; 0.04 |];
+        [| 0.20; 0.02; 0.76; 0.02 |];
+        [| 0.02; 0.20; 0.02; 0.76 |];
+      |]
+
+let exp_env () =
+  section "ENV-SCALING: Markov-modulated environments, env (x) CDR composed chains";
+  (* default-grid rungs: 2- and 4-regime environments, both backends solved
+     to tolerance — the assertion is backend parity of the regime-weighted
+     BER, never wall time *)
+  let cfg = Cdr.Config.default in
+  let rungs = [ ("bursty", Cdr_env.Env.bursty ()); ("bursty-thermal", env4) ] in
+  Format.printf "%-16s %-8s %-9s %-6s %-10s %-10s %-12s %-12s@." "env" "backend" "states" "iters"
+    "build (s)" "solve (s)" "ber" "slip rate";
+  let ok = ref true in
+  let solved =
+    List.map
+      (fun (name, env) ->
+        let bers =
+          List.map
+            (fun backend ->
+              let composed = Cdr_env.Composed.build ~backend env cfg in
+              let sol, solve_t = time (fun () -> Cdr_env.Composed.solve composed) in
+              let pi = sol.Markov.Solution.pi in
+              let ber = Cdr_env.Composed.ber composed ~pi in
+              let slip = Cdr_env.Composed.slip_rate composed ~pi in
+              let b = Cdr_op.kind_string backend in
+              Format.printf "%-16s %-8s %-9d %-6d %-10.2f %-10.2f %-12.3e %-12.3e@." name b
+                composed.Cdr_env.Composed.n_states sol.Markov.Solution.iterations
+                composed.Cdr_env.Composed.build_seconds solve_t ber slip;
+              if not sol.Markov.Solution.converged then ok := false;
+              let labels = [ ("env", name); ("backend", b) ] in
+              Cdr_obs.Metrics.set_gauge "bench.env_states" ~labels
+                (float_of_int composed.Cdr_env.Composed.n_states);
+              Cdr_obs.Metrics.set_gauge "bench.env_build_seconds" ~labels
+                composed.Cdr_env.Composed.build_seconds;
+              Cdr_obs.Metrics.set_gauge "bench.env_solve_seconds" ~labels solve_t;
+              Cdr_obs.Metrics.set_gauge "bench.env_ber" ~labels ber;
+              ber)
+            [ `Csr; `Kron ]
+        in
+        match bers with
+        | [ csr; kron ] ->
+            let parity = Float.abs (csr -. kron) <= 1e-6 *. Float.max csr kron in
+            if not parity then ok := false;
+            (name, parity)
+        | _ -> (name, false))
+      rungs
+  in
+  List.iter
+    (fun (name, parity) ->
+      Format.printf "%s backend parity: %s@." name (if parity then "ok" else "DISAGREE"))
+    solved;
+  (* the headline rung: a >= 1e6-state composed chain through the matrix-free
+     backend (2 regimes x the EXP-SCALE 512-bin family = 1,048,576 states) —
+     the composed transition matrix is never materialized. Capped power run,
+     then the regime-conditional phase-error densities off the iterate. *)
+  let big_cfg =
+    Cdr.Config.create_exn
+      {
+        Cdr.Config.default with
+        Cdr.Config.grid_points = 512;
+        n_phases = 16;
+        counter_length = 16;
+        max_run = 16;
+      }
+  in
+  let env = Cdr_env.Env.bursty () in
+  let composed, build_t = time (fun () -> Cdr_env.Composed.build ~backend:`Kron env big_cfg) in
+  let n = composed.Cdr_env.Composed.n_states in
+  Format.printf "@.headline rung: bursty (x) 512-bin family, %d composed states, kron backend@." n;
+  let sol, solve_t =
+    time (fun () ->
+        Markov.Power.solve_op ~tol:1e-9 ~max_iter:60 (Cdr_env.Composed.operator composed))
+  in
+  Format.printf "  build %.1fs; power (capped 60): %d iterations  residual %.2e  %.1fs@." build_t
+    sol.Markov.Solution.iterations sol.Markov.Solution.residual solve_t;
+  let pi = sol.Markov.Solution.pi in
+  let probs = Cdr_env.Composed.regime_probs composed ~pi in
+  let densities = Cdr_env.Composed.regime_conditional_densities composed ~pi in
+  Array.iteri
+    (fun e (g : Cdr_env.Env.regime) ->
+      let d = densities.(e) in
+      let mass = Array.fold_left ( +. ) 0.0 d in
+      (* center-half mass of the conditional density: a regime-resolved
+         lock-quality summary that is meaningful even off a capped iterate *)
+      let m = Array.length d in
+      let center = ref 0.0 in
+      for i = m / 4 to (3 * m / 4) - 1 do
+        center := !center +. d.(i)
+      done;
+      Format.printf "  regime %-12s P=%.4f  conditional density mass %.3f (center half %.3f)@."
+        g.Cdr_env.Env.name probs.(e) mass !center)
+    composed.Cdr_env.Composed.env.Cdr_env.Env.regimes;
+  let negatives = Array.exists (fun v -> v < 0.0) pi in
+  let big_ok =
+    n >= 1_000_000 && (not negatives)
+    && Float.is_finite sol.Markov.Solution.residual
+    && sol.Markov.Solution.residual < 0.5
+  in
+  if not big_ok then ok := false;
+  Cdr_obs.Metrics.set_gauge "bench.env_headline_states" (float_of_int n);
+  Cdr_obs.Metrics.set_gauge "env.ladder_ok" (if !ok then 1.0 else 0.0);
+  Format.printf "%s@."
+    (if !ok then "env ladder ok: backends agree and the 1e6-state composed rung solves"
+     else "ENV LADDER FAILED")
+
 (* ---------- PARALLEL-SCALING: the Cdr_par domain pool ---------- *)
 
 let exp_parallel () =
@@ -1037,6 +1160,7 @@ let sections =
     ("smoke", exp_smoke);
     ("kron", exp_kron);
     ("kron-smoke", exp_kron_smoke);
+    ("env", exp_env);
     ("parallel", exp_parallel);
     ("scaling", exp_scaling);
     ("ladder", exp_ladder);

@@ -16,63 +16,140 @@ module Params = Cdr_svc.Params
 
    The flags populate the same Cdr_svc.Params.t the serving protocol's
    "params" object decodes into, so the CLI and the server share one field
-   set, one set of defaults and one Config conversion. *)
+   set, one set of defaults and one Config conversion. Every flag is
+   optional (absence detectable), so --scenario can seed a preset's values
+   first and explicit flags override individual fields — the same
+   precedence the protocol's "scenario" params field has. *)
+
+let scenario_flag =
+  let doc =
+    "Seed the configuration from the named scenario preset (see the $(b,scenario) subcommand for \
+     the list); explicit configuration flags override individual fields on top."
+  in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
 
 let grid =
   let doc = "Phase-error grid bins over [-1/2, 1/2) (even, multiple of n-phases)." in
-  Arg.(value & opt int Params.default.Params.grid & info [ "grid" ] ~doc)
+  Arg.(value & opt (some int) None & info [ "grid" ] ~doc)
 
 let n_phases =
   let doc = "Number of VCO clock phases (selector step G = 1/n-phases UI)." in
-  Arg.(value & opt int Params.default.Params.phases & info [ "phases" ] ~doc)
+  Arg.(value & opt (some int) None & info [ "phases" ] ~doc)
 
 let counter =
   let doc = "Up/down counter overflow length K." in
-  Arg.(value & opt int Params.default.Params.counter & info [ "counter"; "k" ] ~doc)
+  Arg.(value & opt (some int) None & info [ "counter"; "k" ] ~doc)
 
 let sigma_w =
   let doc = "Std of the white Gaussian eye-opening jitter n_w (UI)." in
-  Arg.(value & opt float Params.default.Params.sigma_w & info [ "sigma-w" ] ~doc)
+  Arg.(value & opt (some float) None & info [ "sigma-w" ] ~doc)
 
 let drift_mean =
   let doc = "Mean of the n_r drift jitter in grid bins per bit." in
-  Arg.(value & opt float Params.default.Params.drift_mean & info [ "drift-mean" ] ~doc)
+  Arg.(value & opt (some float) None & info [ "drift-mean" ] ~doc)
 
 let drift_max =
   let doc = "Support bound of the n_r drift jitter in grid bins." in
-  Arg.(value & opt int Params.default.Params.drift_max & info [ "drift-max" ] ~doc)
+  Arg.(value & opt (some int) None & info [ "drift-max" ] ~doc)
 
 let max_run =
   let doc = "Longest run of identical bits in the data (forced transition after)." in
-  Arg.(value & opt int Params.default.Params.max_run & info [ "max-run" ] ~doc)
+  Arg.(value & opt (some int) None & info [ "max-run" ] ~doc)
+
+let p01 =
+  let doc = "Per-bit data transition probability 0 to 1." in
+  Arg.(value & opt (some float) None & info [ "p01" ] ~doc)
+
+let p10 =
+  let doc = "Per-bit data transition probability 1 to 0." in
+  Arg.(value & opt (some float) None & info [ "p10" ] ~doc)
 
 let p_transition =
-  let doc = "Per-bit data transition probability (both directions)." in
-  Arg.(value & opt float Params.default.Params.p_transition & info [ "p-transition" ] ~doc)
+  let doc = "Deprecated alias: set both $(b,--p01) and $(b,--p10) to one value." in
+  Arg.(value & opt (some float) None & info [ "p-transition" ] ~doc)
+
+let params_term =
+  let make scenario grid phases counter sigma_w drift_mean drift_max max_run p_transition p01 p10 =
+    match
+      match scenario with
+      | None -> Ok Params.default
+      | Some name -> (
+          match Cdr.Scenario.find name with
+          | Some s -> Ok (Params.of_scenario s)
+          | None -> Error (Printf.sprintf "unknown scenario %S (try the scenario subcommand)" name))
+    with
+    | Error msg -> Error (`Msg msg)
+    | Ok base ->
+        let apply v f p = match v with Some x -> f p x | None -> p in
+        (* the alias seeds both directions; explicit --p01/--p10 win *)
+        Ok
+          (base
+          |> apply grid (fun p x -> { p with Params.grid = x })
+          |> apply phases (fun p x -> { p with Params.phases = x })
+          |> apply counter (fun p x -> { p with Params.counter = x })
+          |> apply sigma_w (fun p x -> { p with Params.sigma_w = x })
+          |> apply drift_mean (fun p x -> { p with Params.drift_mean = x })
+          |> apply drift_max (fun p x -> { p with Params.drift_max = x })
+          |> apply max_run (fun p x -> { p with Params.max_run = x })
+          |> apply p_transition (fun p x -> { p with Params.p01 = x; p10 = x })
+          |> apply p01 (fun p x -> { p with Params.p01 = x })
+          |> apply p10 (fun p x -> { p with Params.p10 = x }))
+  in
+  Term.(
+    term_result
+      (const make $ scenario_flag $ grid $ n_phases $ counter $ sigma_w $ drift_mean $ drift_max
+     $ max_run $ p_transition $ p01 $ p10))
 
 let config_term =
-  let make grid phases counter sigma_w drift_mean drift_max max_run p_transition =
-    let params =
-      {
-        Params.default with
-        Params.grid;
-        phases;
-        counter;
-        sigma_w;
-        drift_mean;
-        drift_max;
-        max_run;
-        p_transition;
-      }
-    in
+  let to_cfg params =
     match Params.to_config params with
     | Ok cfg -> Ok cfg
     | Error msg -> Error (`Msg ("invalid configuration: " ^ msg))
   in
-  Term.(
-    term_result
-      (const make $ grid $ n_phases $ counter $ sigma_w $ drift_mean $ drift_max $ max_run
-     $ p_transition))
+  Term.(term_result (const to_cfg $ params_term))
+
+(* ---------- environment flags (analyze only) ---------- *)
+
+let env_preset =
+  let doc =
+    "Analyze under a named Markov-modulated jitter environment preset (bursty, drift-cycle, \
+     crosstalk): the regime chain is composed with the CDR chain and the report carries \
+     regime-conditional statistics next to the regime-weighted BER."
+  in
+  Arg.(value & opt (some string) None & info [ "env" ] ~docv:"PRESET" ~doc)
+
+let env_file =
+  let doc =
+    "Analyze under the Markov-modulated jitter environment described in $(docv) — the same JSON \
+     object the serving protocol's version-2 \"env\" params field carries."
+  in
+  Arg.(value & opt (some string) None & info [ "env-file" ] ~docv:"FILE" ~doc)
+
+let env_term =
+  let make preset file =
+    match (preset, file) with
+    | Some _, Some _ -> Error (`Msg "--env and --env-file are mutually exclusive")
+    | None, None -> Ok None
+    | Some name, None -> (
+        match Cdr_env.Env.find name with
+        | Some e -> Ok (Some e)
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown environment preset %S (presets: %s)" name
+                   (String.concat ", " (List.map fst Cdr_env.Env.presets)))))
+    | None, Some path -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error msg -> Error (`Msg ("cannot read environment file: " ^ msg))
+        | text -> (
+            match Cdr_obs.Jsonl.of_string (String.trim text) with
+            | exception Failure msg -> Error (`Msg (path ^ ": malformed JSON: " ^ msg))
+            | json -> (
+                match Cdr_env.Env.of_json json with
+                | Ok e -> Ok (Some e)
+                | Error msg -> Error (`Msg (path ^ ": " ^ msg)))))
+  in
+  Term.(term_result (const make $ env_preset $ env_file))
 
 let solver =
   let solver_conv =
@@ -205,8 +282,23 @@ let run_analyze_kron ~pool ~solver cfg =
     (Cdr.Kron_model.mean_time_between_slips model ~pi);
   report
 
+(* analyze composed with a jitter environment: build env (x) CDR on the
+   requested backend, solve, and print the regime-conditional report *)
+let run_analyze_env ~pool ~solver ~smoother ~backend env cfg =
+  let solver =
+    match (backend, solver) with
+    | `Kron, `Gauss_seidel ->
+        Format.eprintf
+          "cdr_analyze: solver gauss-seidel has no matrix-free path; use --backend csr@.";
+        exit 2
+    | _, s -> (s :> Cdr_env.Composed.solver)
+  in
+  let ctx = Cdr.Context.make ~pool ~smoother ~backend () in
+  let _, report = Cdr_env.Report.run ~backend ~solver ~ctx env cfg in
+  Format.printf "%a@." Cdr_env.Report.pp report
+
 let analyze_term =
-  let run cfg solver backend smoother jobs trace_file metrics_file =
+  let run cfg env solver backend smoother jobs trace_file metrics_file =
     with_jobs jobs @@ fun pool ->
     Option.iter
       (fun path ->
@@ -227,30 +319,43 @@ let analyze_term =
           | oc -> (path, oc))
         metrics_file
     in
-    let report =
-      match backend with
-      | `Kron -> run_analyze_kron ~pool ~solver cfg
-      | `Csr ->
-          let report = Cdr.Report.run ~solver ~pool ~smoother cfg in
-          Format.printf "%a@." Cdr.Report.pp report;
-          let model = Cdr.Model.build ~pool cfg in
-          let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool ~smoother model in
-          let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
-          Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
-          report
-    in
-    Option.iter
-      (fun (path, oc) ->
-        output_string oc (Cdr_obs.Trace.to_csv report.Cdr.Report.trace);
-        close_out oc;
-        Format.eprintf "convergence trace (%d samples, %s) written to %s@."
-          (Cdr_obs.Trace.length report.Cdr.Report.trace)
-          (Cdr_obs.Trace.name report.Cdr.Report.trace)
-          path)
-      metrics_out;
-    Cdr_obs.Sink.close_all ()
+    match env with
+    | Some e ->
+        run_analyze_env ~pool ~solver ~smoother ~backend e cfg;
+        Option.iter
+          (fun (path, oc) ->
+            close_out oc;
+            Format.eprintf
+              "cdr_analyze: --metrics has no convergence trace under --env; %s left empty@." path)
+          metrics_out;
+        Cdr_obs.Sink.close_all ()
+    | None ->
+        let report =
+          match backend with
+          | `Kron -> run_analyze_kron ~pool ~solver cfg
+          | `Csr ->
+              let report = Cdr.Report.run ~solver ~pool ~smoother cfg in
+              Format.printf "%a@." Cdr.Report.pp report;
+              let model = Cdr.Model.build ~pool cfg in
+              let solution = Cdr.Model.solve ~solver:(widen_solver solver) ~pool ~smoother model in
+              let mtbf = Cdr.Cycle_slip.mean_time_between model ~pi:solution.Markov.Solution.pi in
+              Format.printf "Mean time between cycle slips: %.3e bit intervals@." mtbf;
+              report
+        in
+        Option.iter
+          (fun (path, oc) ->
+            output_string oc (Cdr_obs.Trace.to_csv report.Cdr.Report.trace);
+            close_out oc;
+            Format.eprintf "convergence trace (%d samples, %s) written to %s@."
+              (Cdr_obs.Trace.length report.Cdr.Report.trace)
+              (Cdr_obs.Trace.name report.Cdr.Report.trace)
+              path)
+          metrics_out;
+        Cdr_obs.Sink.close_all ()
   in
-  Term.(const run $ config_term $ solver $ backend $ smoother $ jobs $ trace_file $ metrics_file)
+  Term.(
+    const run $ config_term $ env_term $ solver $ backend $ smoother $ jobs $ trace_file
+    $ metrics_file)
 
 let analyze_cmd =
   let doc = "Stationary phase-error density, BER and cycle-slip time for one configuration." in

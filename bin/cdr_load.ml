@@ -145,9 +145,9 @@ let request_line ~grid ~structures ~deadline_ms ~id i =
   let params =
     Cdr_obs.Jsonl.Obj
       [
+        ("version", Num 2.);
         ("grid", Num (float_of_int grid));
-        ("phases", Num 16.);
-        ("counter", Num (float_of_int counter));
+        ("loop", Obj [ ("phases", Num 16.); ("counter", Num (float_of_int counter)) ]);
       ]
   in
   ( kind_name kind,

@@ -1,0 +1,52 @@
+(* Bursty jitter: why the composed environment model matters.
+
+   A two-regime Markov-modulated environment (quiet / crosstalk burst that
+   doubles the eye-opening jitter) is composed with the CDR chain, and the
+   exact regime-weighted BER is compared against the naive mixture
+   approximation — each regime solved standalone, BERs weighted by the
+   environment's stationary distribution. In the slow-switching limit the
+   two agree (the CDR re-equilibrates within each dwell); under fast
+   switching they do not: the loop never settles into either regime's
+   stationary law, and the mixture misestimates the BER.
+
+   Run with: dune exec examples/bursty_jitter.exe *)
+
+let analyze ~p_enter ~p_exit cfg =
+  let env = Cdr_env.Env.bursty ~p_enter ~p_exit () in
+  let composed = Cdr_env.Composed.build env cfg in
+  let solution = Cdr_env.Composed.solve composed in
+  let pi = solution.Markov.Solution.pi in
+  let composed_ber = Cdr_env.Composed.ber composed ~pi in
+  let _, mixture = Cdr_env.Composed.mixture_ber composed in
+  (env, composed, pi, composed_ber, mixture)
+
+let () =
+  let cfg = Cdr.Config.default in
+  Format.printf "Base configuration:@.%a@.@." Cdr.Config.pp cfg;
+
+  (* same regimes, same stationary dwell fractions (p_enter/p_exit ratio is
+     fixed), only the switching speed changes *)
+  let cases =
+    [
+      ("slow switching (dwell ~10^4 bits)", 2e-5, 1e-4);
+      ("moderate switching (dwell ~100 bits)", 2e-3, 1e-2);
+      ("fast switching (dwell ~5 bits)", 0.05, 0.25);
+    ]
+  in
+  List.iter
+    (fun (label, p_enter, p_exit) ->
+      let env, composed, pi, composed_ber, mixture = analyze ~p_enter ~p_exit cfg in
+      let probs = Cdr_env.Composed.regime_probs composed ~pi in
+      Format.printf "%s@." label;
+      Format.printf "  env %s: %d regimes, %d composed states@." env.Cdr_env.Env.name
+        (Cdr_env.Env.n_regimes env) composed.Cdr_env.Composed.n_states;
+      Format.printf "  P(burst)      = %.4f@." probs.(1);
+      Format.printf "  composed BER  = %.6e   (exact: env (x) CDR stationary law)@." composed_ber;
+      Format.printf "  mixture BER   = %.6e   (naive: per-regime solve, weighted)@." mixture;
+      Format.printf "  mixture error = %+.1f%%@.@."
+        ((mixture -. composed_ber) /. composed_ber *. 100.))
+    cases;
+  Format.printf
+    "The mixture approximation holds only when regime dwell times dwarf the@.loop's \
+     re-equilibration time; burst noise on real links switches too fast@.for that, which is what \
+     the composed model is for.@."

@@ -43,6 +43,22 @@ type direct_tables = {
 
 val direct_tables : Config.t -> direct_tables
 
+val iter_successors :
+  Config.t ->
+  direct_tables ->
+  data:int ->
+  counter:int ->
+  phase:int ->
+  (int * int * int -> float -> unit) ->
+  unit
+(** Enumerates the successors of one global state [(data, counter, phase)]
+    under the marginalized tables: calls [f (data', counter', phase') p] for
+    every outcome atom, in the fixed deterministic order the direct
+    construction uses (data outcome, then detector outcome, then random-walk
+    atom). Duplicate successor triples are emitted separately; consumers sum
+    them. Exposed so composed chains (environment x CDR, {!Cdr_env}) can
+    reuse the per-regime successor enumeration verbatim. *)
+
 val build_via_network : Config.t -> t
 
 val build_direct : ?pool:Cdr_par.Pool.t -> Config.t -> t

@@ -2,6 +2,8 @@ type t = {
   name : string;
   description : string;
   config : Config.t;
+  drift_mean : float;
+  drift_max : int;
   ber_specification : float;
 }
 
@@ -12,6 +14,8 @@ let sonet_multiplexer =
       "SONET-type multiplexer link: scrambled data (p = 1/2, run limit 8), 16-phase \
        selector, counter length 8, nominal eye";
     config = Config.default;
+    drift_mean = 0.05;
+    drift_max = 2;
     ber_specification = 1e-10;
   }
 
@@ -23,6 +27,8 @@ let sonet_multiplexer_noisy =
        eye-opening jitter 25% - the paper's failing prototype, delivering a BER more than \
        an order of magnitude below the specification";
     config = { Config.default with Config.sigma_w = 0.075 };
+    drift_mean = 0.05;
+    drift_max = 2;
     ber_specification = 1e-10;
   }
 
@@ -42,6 +48,8 @@ let burst_mode_retimer =
           p10 = 0.6;
           sigma_w = 0.05;
         };
+    drift_mean = 0.05;
+    drift_max = 2;
     ber_specification = 1e-9;
   }
 
@@ -60,6 +68,8 @@ let low_jitter_interpolator =
           sigma_w = 0.04;
           nr = Prob.Jitter.drift ~max_steps:2 ~mean_steps:0.05 ();
         };
+    drift_mean = 0.05;
+    drift_max = 2;
     ber_specification = 1e-12;
   }
 

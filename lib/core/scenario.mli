@@ -12,6 +12,11 @@ type t = {
   name : string;
   description : string;
   config : Config.t;
+  drift_mean : float;
+      (* mean drift steps/bit of [config.nr] — kept alongside the pmf so
+         parameterized surfaces (service schema, CLI flags) can seed their
+         scalar drift fields from a preset and rebuild the identical pmf *)
+  drift_max : int; (* drift truncation radius matching [config.nr] *)
   ber_specification : float; (* the pass/fail line for this link class *)
 }
 

@@ -1,0 +1,349 @@
+(* Markov-modulated jitter environments (ROADMAP item 4).
+
+   An environment is a small Markov chain over named operating regimes —
+   bursty aggressor crosstalk on/off, slow thermal drift phases — whose
+   state modulates the CDR's noise parameters: regime [e] scales [sigma_w],
+   may rebuild the drift pmf [n_r], and may override the data transition
+   densities [p01]/[p10]. The construction follows the
+   Markov-modulated-Markov-chain composition of Foss, Shneer & Tyurlikov
+   (arXiv:1105.0270): the environment switches independently once per bit,
+   and during a bit interval the CDR evolves under the dwell regime's
+   parameters, so
+
+     P((e, s) -> (e', s')) = S[e][e'] * P_e[s][s']
+
+   with [S] the switching matrix and [P_e] the regime-[e] CDR chain.
+   {!Composed} assembles that product; this module owns the environment
+   spec itself: validation, per-regime config modulation, the stationary
+   regime distribution, presets, and the canonical JSON codec the v2
+   service schema embeds. *)
+
+type regime = {
+  name : string;
+  sigma_scale : float;
+  drift_mean : float option;
+  drift_max : int option;
+  p01 : float option;
+  p10 : float option;
+}
+
+type t = { name : string; regimes : regime array; switch : float array array }
+
+let regime ?(sigma_scale = 1.0) ?drift_mean ?drift_max ?p01 ?p10 name =
+  { name; sigma_scale; drift_mean; drift_max; p01; p10 }
+
+let n_regimes t = Array.length t.regimes
+
+let row_sum_tol = 1e-9
+
+let validate t =
+  let r = Array.length t.regimes in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if t.name = "" then err "environment name must be non-empty"
+  else if r = 0 then err "environment needs at least one regime"
+  else if Array.length t.switch <> r then
+    err "switch matrix has %d rows for %d regimes" (Array.length t.switch) r
+  else begin
+    let problem = ref None in
+    let fail fmt = Format.kasprintf (fun m -> if !problem = None then problem := Some m) fmt in
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun (g : regime) ->
+        if g.name = "" then fail "regime names must be non-empty";
+        if Hashtbl.mem seen g.name then fail "duplicate regime name %S" g.name;
+        Hashtbl.replace seen g.name ();
+        if not (Float.is_finite g.sigma_scale) || g.sigma_scale <= 0.0 then
+          fail "regime %S: sigma_scale must be finite and positive" g.name;
+        (match g.drift_mean with
+        | Some v when (not (Float.is_finite v)) || v < 0.0 ->
+            fail "regime %S: drift_mean must be finite and non-negative" g.name
+        | _ -> ());
+        (match g.drift_max with
+        | Some v when v < 1 -> fail "regime %S: drift_max must be >= 1" g.name
+        | _ -> ());
+        List.iter
+          (fun (label, v) ->
+            match v with
+            | Some p when (not (Float.is_finite p)) || p < 0.0 || p > 1.0 ->
+                fail "regime %S: %s must lie in [0, 1]" g.name label
+            | _ -> ())
+          [ ("p01", g.p01); ("p10", g.p10) ])
+      t.regimes;
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> r then
+          fail "switch row %d has %d entries for %d regimes" i (Array.length row) r
+        else begin
+          let s = ref 0.0 in
+          Array.iteri
+            (fun j p ->
+              if (not (Float.is_finite p)) || p < 0.0 then
+                fail "switch entry (%d, %d) must be finite and non-negative" i j;
+              s := !s +. p)
+            row;
+          if abs_float (!s -. 1.0) > row_sum_tol then
+            fail "switch row %d sums to %.12g, not 1" i !s
+        end)
+      t.switch;
+    match !problem with None -> Ok () | Some m -> Error m
+  end
+
+let create_exn ~name ~regimes ~switch =
+  let t = { name; regimes; switch } in
+  match validate t with Ok () -> t | Error m -> invalid_arg ("Cdr_env.Env: " ^ m)
+
+let identity =
+  {
+    name = "identity";
+    regimes = [| regime "base" |];
+    switch = [| [| 1.0 |] |];
+  }
+
+(* Per-regime effective configuration. The identity regime (scale 1,
+   no overrides) must reproduce the base config's field values bitwise:
+   [sigma_w *. 1.0 = sigma_w] exactly in IEEE arithmetic, and absent
+   overrides keep the base pmf/record fields untouched — the identity
+   composition test pins this. When only one of the drift parameters is
+   overridden, the other defaults to the value recoverable from the base
+   pmf (its mean, and its largest support radius). *)
+let regime_config t base e =
+  let g = t.regimes.(e) in
+  let nr =
+    match (g.drift_mean, g.drift_max) with
+    | None, None -> base.Cdr.Config.nr
+    | mean, max_s ->
+        let mean_steps =
+          match mean with Some v -> v | None -> Prob.Pmf.mean base.Cdr.Config.nr
+        in
+        let max_steps =
+          match max_s with
+          | Some v -> v
+          | None ->
+              max
+                (abs (Prob.Pmf.min_support base.Cdr.Config.nr))
+                (abs (Prob.Pmf.max_support base.Cdr.Config.nr))
+        in
+        Prob.Jitter.drift ~max_steps ~mean_steps ()
+  in
+  Cdr.Config.create_exn
+    {
+      base with
+      Cdr.Config.sigma_w = base.Cdr.Config.sigma_w *. g.sigma_scale;
+      nr;
+      p01 = Option.value g.p01 ~default:base.Cdr.Config.p01;
+      p10 = Option.value g.p10 ~default:base.Cdr.Config.p10;
+    }
+
+(* Stationary distribution of the switching chain itself, by GTH
+   elimination — exact, subtraction-free, and immune to the slow mixing a
+   power iteration would suffer on the nearly-uncoupled slow-switching
+   environments the mixture limit cares about. Raises [Failure] when the
+   environment is reducible (an absorbing regime). *)
+let stationary t =
+  let r = n_regimes t in
+  if r = 1 then [| 1.0 |]
+  else
+    Markov.Gth.solve_dense
+      (Linalg.Mat.init ~rows:r ~cols:r (fun i j -> t.switch.(i).(j)))
+
+(* ---------- presets ---------- *)
+
+let bursty ?(p_enter = 0.05) ?(p_exit = 0.25) ?(sigma_boost = 2.0) () =
+  create_exn ~name:"bursty"
+    ~regimes:
+      [| regime "quiet"; regime ~sigma_scale:sigma_boost "burst" |]
+    ~switch:[| [| 1.0 -. p_enter; p_enter |]; [| p_exit; 1.0 -. p_exit |] |]
+
+let drift_cycle () =
+  (* slow thermal ring: cool -> nominal -> hot -> nominal -> cool, with
+     long dwell times; the hot phase also speeds the reference drift *)
+  create_exn ~name:"drift-cycle"
+    ~regimes:
+      [|
+        regime ~sigma_scale:0.9 "cool";
+        regime "nominal";
+        regime ~sigma_scale:1.15 ~drift_mean:0.1 "hot";
+      |]
+    ~switch:
+      [|
+        [| 0.995; 0.005; 0.0 |];
+        [| 0.0025; 0.995; 0.0025 |];
+        [| 0.0; 0.005; 0.995 |];
+      |]
+
+let crosstalk () =
+  (* an aggressor lane toggling: active regime skews the transition
+     densities and widens the eye jitter *)
+  create_exn ~name:"crosstalk"
+    ~regimes:
+      [|
+        regime "idle";
+        regime ~sigma_scale:1.25 ~p01:0.45 ~p10:0.55 "aggressor";
+      |]
+    ~switch:[| [| 0.9; 0.1 |]; [| 0.3; 0.7 |] |]
+
+let presets = [ ("bursty", bursty ()); ("drift-cycle", drift_cycle ()); ("crosstalk", crosstalk ()) ]
+
+let find name = List.assoc_opt name presets
+
+(* ---------- canonical JSON codec ----------
+
+   The v2 service schema embeds an environment under ["env"]. [to_json] is
+   canonical — fixed field order, optional regime fields omitted when
+   absent — so [Protocol.cache_key] derived from the re-encoded params is
+   identical for every spelling of the same environment, and
+   [of_json (to_json t)] returns [t] structurally. *)
+
+module J = Cdr_obs.Jsonl
+
+let regime_to_json (g : regime) =
+  let opt_num name v rest =
+    match v with None -> rest | Some x -> (name, J.Num x) :: rest
+  in
+  let opt_int name v rest =
+    match v with None -> rest | Some x -> (name, J.Num (float_of_int x)) :: rest
+  in
+  J.Obj
+    (("name", J.Str g.name)
+    :: ("sigma_scale", J.Num g.sigma_scale)
+    :: opt_num "drift_mean" g.drift_mean
+         (opt_int "drift_max" g.drift_max
+            (opt_num "p01" g.p01 (opt_num "p10" g.p10 []))))
+
+let to_json t =
+  J.Obj
+    [
+      ("name", J.Str t.name);
+      ("regimes", J.List (Array.to_list (Array.map regime_to_json t.regimes)));
+      ( "switch",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun row -> J.List (Array.to_list (Array.map (fun p -> J.Num p) row)))
+                t.switch)) );
+    ]
+
+let ( let* ) = Result.bind
+
+let num_field name = function
+  | J.Num v -> Ok v
+  | _ -> Error (Printf.sprintf "env field %S must be a number" name)
+
+let regime_of_json = function
+  | J.Obj fields ->
+      let* g =
+        List.fold_left
+          (fun acc (key, v) ->
+            let* (g : regime) = acc in
+            match key with
+            | "name" -> (
+                match v with
+                | J.Str s -> Ok { g with name = s }
+                | _ -> Error "regime field \"name\" must be a string")
+            | "sigma_scale" ->
+                let* x = num_field key v in
+                Ok { g with sigma_scale = x }
+            | "drift_mean" ->
+                let* x = num_field key v in
+                Ok { g with drift_mean = Some x }
+            | "drift_max" ->
+                let* x = num_field key v in
+                Ok { g with drift_max = Some (int_of_float x) }
+            | "p01" ->
+                let* x = num_field key v in
+                Ok { g with p01 = Some x }
+            | "p10" ->
+                let* x = num_field key v in
+                Ok { g with p10 = Some x }
+            | other -> Error (Printf.sprintf "unknown regime field %S" other))
+          (Ok (regime "") : (regime, string) result)
+          fields
+      in
+      if g.name = "" then Error "regime needs a non-empty \"name\"" else Ok g
+  | _ -> Error "each regime must be an object"
+
+let switch_of_json = function
+  | J.List rows ->
+      let* rows =
+        List.fold_left
+          (fun acc row ->
+            let* rows = acc in
+            match row with
+            | J.List entries ->
+                let* row =
+                  List.fold_left
+                    (fun acc v ->
+                      let* row = acc in
+                      let* x = num_field "switch" v in
+                      Ok (x :: row))
+                    (Ok []) entries
+                in
+                Ok (Array.of_list (List.rev row) :: rows)
+            | _ -> Error "each switch row must be a list of numbers")
+          (Ok []) rows
+      in
+      Ok (Array.of_list (List.rev rows))
+  | _ -> Error "env field \"switch\" must be a list of rows"
+
+let of_json = function
+  | J.Obj fields ->
+      let* name, regimes, switch =
+        List.fold_left
+          (fun acc (key, v) ->
+            let* name, regimes, switch = acc in
+            match key with
+            | "name" -> (
+                match v with
+                | J.Str s -> Ok (Some s, regimes, switch)
+                | _ -> Error "env field \"name\" must be a string")
+            | "regimes" -> (
+                match v with
+                | J.List gs ->
+                    let* gs =
+                      List.fold_left
+                        (fun acc g ->
+                          let* gs = acc in
+                          let* g = regime_of_json g in
+                          Ok (g :: gs))
+                        (Ok []) gs
+                    in
+                    Ok (name, Some (Array.of_list (List.rev gs)), switch)
+                | _ -> Error "env field \"regimes\" must be a list")
+            | "switch" ->
+                let* s = switch_of_json v in
+                Ok (name, regimes, Some s)
+            | other -> Error (Printf.sprintf "unknown env field %S" other))
+          (Ok (None, None, None))
+          fields
+      in
+      let* name = Option.to_result ~none:"env needs a \"name\"" name in
+      let* regimes = Option.to_result ~none:"env needs \"regimes\"" regimes in
+      let* switch = Option.to_result ~none:"env needs a \"switch\" matrix" switch in
+      let t = { name; regimes; switch } in
+      let* () = validate t in
+      Ok t
+  | J.Str preset ->
+      Option.to_result ~none:(Printf.sprintf "unknown environment preset %S" preset) (find preset)
+  | _ -> Error "env must be an object or a preset name"
+
+(* Compact structural fingerprint for model/structure keys: the regime
+   count (the state-space multiplier) plus a hash of the canonical JSON.
+   Collisions only blur batching affinity — the result cache keys on the
+   full canonical encoding, never on this digest. *)
+let key t = Printf.sprintf "env%dx%08x" (n_regimes t) (Hashtbl.hash (J.to_string (to_json t)))
+
+let equal a b = to_json a = to_json b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>environment %s: %d regimes@," t.name (n_regimes t);
+  Array.iteri
+    (fun i (g : regime) ->
+      Format.fprintf ppf "  %-12s sigma x%.3g%s%s%s%s  switch [%s]@," g.name g.sigma_scale
+        (match g.drift_mean with Some v -> Printf.sprintf ", drift mean %.3g" v | None -> "")
+        (match g.drift_max with Some v -> Printf.sprintf ", drift max %d" v | None -> "")
+        (match g.p01 with Some v -> Printf.sprintf ", p01 %.3g" v | None -> "")
+        (match g.p10 with Some v -> Printf.sprintf ", p10 %.3g" v | None -> "")
+        (String.concat "; "
+           (Array.to_list (Array.map (Printf.sprintf "%.4g") t.switch.(i)))))
+    t.regimes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,100 @@
+(** Markov-modulated jitter environments (ROADMAP item 4).
+
+    A small Markov chain over named operating regimes whose state modulates
+    the CDR's noise parameters per bit interval — the
+    Markov-modulated-Markov-chain construction of Foss, Shneer & Tyurlikov
+    (arXiv:1105.0270) applied to the paper's CDR model. {!Composed} builds
+    the product chain [P((e,s) -> (e',s')) = S[e][e'] * P_e[s][s']]; this
+    module owns the environment specification. *)
+
+type regime = {
+  name : string;
+  sigma_scale : float; (* multiplies [Config.sigma_w]; 1.0 = unchanged *)
+  drift_mean : float option; (* rebuild [n_r] with this mean (bins/bit) *)
+  drift_max : int option; (* ... and this truncation radius *)
+  p01 : float option; (* override the 0->1 transition density *)
+  p10 : float option;
+}
+
+type t = {
+  name : string;
+  regimes : regime array;
+  switch : float array array; (* row-stochastic regime switching matrix *)
+}
+
+val regime :
+  ?sigma_scale:float ->
+  ?drift_mean:float ->
+  ?drift_max:int ->
+  ?p01:float ->
+  ?p10:float ->
+  string ->
+  regime
+(** A regime with the given modulations; omitted fields leave the base
+    config untouched. *)
+
+val validate : t -> (unit, string) result
+(** Non-empty unique regime names, positive finite [sigma_scale], overrides
+    in range, and a square switching matrix with non-negative rows summing
+    to 1 within [1e-9]. *)
+
+val create_exn : name:string -> regimes:regime array -> switch:float array array -> t
+(** {!validate} or [Invalid_argument]. *)
+
+val identity : t
+(** One regime, no modulation, switch [[1]]: composing with it reproduces
+    the base CDR chain bitwise (pinned by the test suite). *)
+
+val n_regimes : t -> int
+
+val regime_config : t -> Cdr.Config.t -> int -> Cdr.Config.t
+(** [regime_config t base e] is the effective configuration while the
+    environment dwells in regime [e]: [sigma_w] scaled, [n_r] rebuilt when
+    drift overrides are present (an absent mean/radius defaults to the
+    value recovered from the base pmf), [p01]/[p10] overridden. The
+    modulations never touch the state-space parameters (grid, phases,
+    counter length, run limit), so all regimes share one product-space
+    shape. *)
+
+val stationary : t -> float array
+(** Stationary distribution of the switching chain, by GTH elimination —
+    exact even for the nearly-uncoupled slow-switching environments the
+    mixture limit cares about. Raises [Failure] on a reducible environment
+    (an absorbing regime). *)
+
+val bursty : ?p_enter:float -> ?p_exit:float -> ?sigma_boost:float -> unit -> t
+(** Two regimes, quiet/burst: aggressor crosstalk widening the eye jitter
+    by [sigma_boost] (default 2.0) with geometric burst dwell times
+    (enter 0.05, exit 0.25 per bit). *)
+
+val drift_cycle : unit -> t
+(** Three-regime slow thermal ring (cool/nominal/hot) with long dwell
+    times; the hot phase also speeds the reference drift. *)
+
+val crosstalk : unit -> t
+(** Two regimes toggling an aggressor lane that skews the data transition
+    densities and widens the eye jitter. *)
+
+val presets : (string * t) list
+
+val find : string -> t option
+
+val to_json : t -> Cdr_obs.Jsonl.t
+(** Canonical encoding: fixed field order, absent regime overrides omitted.
+    [of_json (to_json t)] returns [t] structurally, and every spelling of
+    the same environment re-encodes identically — the property the service
+    cache keys rely on. *)
+
+val of_json : Cdr_obs.Jsonl.t -> (t, string) result
+(** Parses the {!to_json} shape (unknown fields rejected) or a preset name
+    given as a bare JSON string; validates the result. *)
+
+val key : t -> string
+(** Compact structural fingerprint (regime count + canonical-JSON hash) for
+    [model_key]/[structure_key] extension. The result cache keys on the
+    full canonical encoding, never on this digest. *)
+
+val equal : t -> t -> bool
+(** Structural equality via the canonical encoding. *)
+
+val pp : Format.formatter -> t -> unit

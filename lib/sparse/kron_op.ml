@@ -23,6 +23,28 @@ let sum = function
         ops;
       { n = first.n; terms = List.concat_map (fun op -> op.terms) ops }
 
+(* A (x) (sum_t c_t T_t) = sum_t c_t (A (x) T_t): prepending a leading
+   factor distributes over the term list, so lifting an operator into a
+   larger product space is O(terms) and shares every factor with the
+   original. This is how an environment chain wraps a per-regime CDR
+   operator without rebuilding its factors. *)
+let lift a op =
+  if Csr.rows a <> Csr.cols a then invalid_arg "Kron_op.lift: leading factor must be square";
+  let r = Csr.rows a in
+  if r = 0 then invalid_arg "Kron_op.lift: empty leading factor";
+  {
+    n = r * op.n;
+    terms =
+      List.map
+        (fun t ->
+          {
+            t with
+            factors = Array.append [| a |] t.factors;
+            dims = Array.append [| r |] t.dims;
+          })
+        op.terms;
+  }
+
 let dim op = op.n
 
 let n_terms op = List.length op.terms

@@ -20,6 +20,13 @@ val sum : t list -> t
 (** Concatenates the operands' term lists in order; O(total terms). Raises
     [Invalid_argument] on dimension mismatch or the empty list. *)
 
+val lift : Csr.t -> t -> t
+(** [lift a op] is [a (x) op]: every term gains [a] as a new leading
+    (slowest-varying) factor, so the result has dimension
+    [rows a * dim op]. Distributing the leading factor over the term list is
+    O(terms) and shares all existing factor storage. [a] must be square and
+    non-empty; raises [Invalid_argument] otherwise. *)
+
 val dim : t -> int
 
 val n_terms : t -> int

@@ -10,6 +10,7 @@ type t = {
   labels : (string * string) list;
   mutable last_model : (string * Cdr.Model.t) option;
   mutable last_kron : (string * Cdr.Kron_model.t) option;
+  mutable last_env : (string * Cdr_env.Composed.t) option;
 }
 
 let create ?pool ?cache ?results ?replica () =
@@ -17,7 +18,7 @@ let create ?pool ?cache ?results ?replica () =
   let labels =
     match replica with Some r -> [ ("replica", string_of_int r) ] | None -> []
   in
-  { pool; cache; results; replica; labels; last_model = None; last_kron = None }
+  { pool; cache; results; replica; labels; last_model = None; last_kron = None; last_env = None }
 
 let cache t = t.cache
 
@@ -181,6 +182,101 @@ let get_kron_model t params config =
   t.last_kron <- Some (key, model);
   model
 
+(* Composed environment models are keyed on the model key (which already
+   carries the env-spec hash) plus the noise fields and backend: the
+   per-regime configurations depend on sigma_w/drift/p01/p10, and there is
+   no [rebuild]-style refill for the composed chain, so a key hit reuses
+   the model outright — including its memoized IAD setup — and a miss
+   builds fresh, transplanting the previous setup when the operator shape
+   matches. The env JSON rides in the key verbatim so two specs hashing
+   alike can never serve each other's model. *)
+let get_env_model t params config env =
+  let key =
+    Printf.sprintf "%s|%h|%h|%h|%h|%s|%s" (Params.model_key params) params.Params.sigma_w
+      params.Params.drift_mean params.Params.p01 params.Params.p10
+      (Params.string_of_backend params.Params.backend)
+      (Cdr_obs.Jsonl.to_string (Cdr_env.Env.to_json env))
+  in
+  let model =
+    match t.last_env with
+    | Some (k, m) when k = key -> m
+    | prev ->
+        let m = Cdr_env.Composed.build ~backend:params.Params.backend env config in
+        (match prev with
+        | Some (_, old) -> (
+            match old.Cdr_env.Composed.iad with
+            | Some s when Markov.Op_multigrid.matches s m.Cdr_env.Composed.op ->
+                m.Cdr_env.Composed.iad <- Some s
+            | _ -> ())
+        | None -> ());
+        m
+  in
+  t.last_env <- Some (key, model);
+  model
+
+let run_env t ~ctx p config =
+  let env =
+    match p.Params.env with
+    | Some e -> e
+    | None -> raise (Unsupported "\"env\" requests require a params field \"env\"")
+  in
+  (match (p.Params.backend, p.Params.solver) with
+  | `Kron, `Gauss_seidel ->
+      raise (Unsupported "solver \"gauss-seidel\" has no matrix-free path; use backend=csr")
+  | _ -> ());
+  let model = get_env_model t p config env in
+  let solver = (p.Params.solver :> Cdr_env.Composed.solver) in
+  let (sol, degraded), solve_seconds =
+    Cdr_obs.Span.timed ~name:"report.solve" (fun () ->
+        with_degraded_retry ctx (fun ctx -> ((), Cdr_env.Composed.solve ~solver ~ctx model))
+        |> fun (((), sol), degraded) -> (sol, degraded))
+  in
+  let pi = sol.Markov.Solution.pi in
+  let probs = Cdr_env.Composed.regime_probs model ~pi in
+  let regime_ber = Cdr_env.Composed.regime_ber model ~pi in
+  ( Cdr_obs.Jsonl.Obj
+      [
+        ("ber", num (Cdr_env.Composed.ber model ~pi));
+        ("size", int_num model.Cdr_env.Composed.n_states);
+        ("iterations", int_num sol.Markov.Solution.iterations);
+        ("solve_seconds", num solve_seconds);
+        ("slip_rate", num (Cdr_env.Composed.slip_rate model ~pi));
+        ("mean_bits_between_slips", num (Cdr_env.Composed.mean_bits_between_slips model ~pi));
+        ( "regimes",
+          List
+            (Array.to_list
+               (Array.mapi
+                  (fun e (g : Cdr_env.Env.regime) ->
+                    Cdr_obs.Jsonl.Obj
+                      [
+                        ("name", Str g.Cdr_env.Env.name);
+                        ("prob", num probs.(e));
+                        ("ber", num regime_ber.(e));
+                      ])
+                  model.Cdr_env.Composed.env.Cdr_env.Env.regimes)) );
+      ],
+    degraded )
+
+(* the "scenarios" payload: every built-in preset with the parameter record
+   a ["scenario"]-seeded request would start from, so a client can list,
+   pick and replay without hardcoding preset contents *)
+let scenarios_payload () =
+  Cdr_obs.Jsonl.Obj
+    [
+      ( "scenarios",
+        List
+          (List.map
+             (fun (s : Cdr.Scenario.t) ->
+               Cdr_obs.Jsonl.Obj
+                 [
+                   ("name", Str s.Cdr.Scenario.name);
+                   ("description", Str s.Cdr.Scenario.description);
+                   ("ber_specification", Num s.Cdr.Scenario.ber_specification);
+                   ("params", Params.to_json (Params.of_scenario s));
+                 ])
+             Cdr.Scenario.all) );
+    ]
+
 (* Analyze on the matrix-free backend: same response shape as the CSR path,
    solved through {!Cdr.Kron_model} (full product space, never
    materialized). *)
@@ -288,6 +384,8 @@ let run_kind t ~ctx req config =
                    points) );
           ],
         false )
+  | Protocol.Env -> run_env t ~ctx p config
+  | Protocol.Scenarios -> (scenarios_payload (), false)
   | Protocol.Stats -> (stats_payload t, false)
 
 let handle t job =

@@ -9,7 +9,9 @@
       symbolic multigrid setup;
     - the most recent model, so a request whose {!Params.model_key} matches
       goes through {!Cdr.Model.rebuild}'s in-place refill instead of a full
-      build.
+      build. The most recent composed environment model
+      ({!Cdr_env.Composed.t}) is memoized the same way for ["env"]
+      requests, IAD setup included.
 
     {!process} exploits both by grouping a batch of jobs by
     {!Params.structure_key} (first-arrival order preserved between groups

@@ -1,4 +1,4 @@
-type kind = Analyze | Sweep of int list | Sigma of float list | Slip | Stats
+type kind = Analyze | Sweep of int list | Sigma of float list | Slip | Env | Scenarios | Stats
 
 type request = {
   id : string;
@@ -21,6 +21,8 @@ let kind_name = function
   | Sweep _ -> "sweep"
   | Sigma _ -> "sigma"
   | Slip -> "slip"
+  | Env -> "env"
+  | Scenarios -> "scenarios"
   | Stats -> "stats"
 
 (* historical defaults of the cdr_analyze sweep/sigma subcommands *)
@@ -91,6 +93,14 @@ let parse_with_id ~id fields =
                 let* () = reject_extra "lengths" "sweep" in
                 let* () = reject_extra "values" "sigma" in
                 Ok (if kind_s = "analyze" then Analyze else Slip)
+            | "env" ->
+                let* () = reject_extra "lengths" "sweep" in
+                let* () = reject_extra "values" "sigma" in
+                Ok Env
+            | "scenarios" ->
+                let* () = reject_extra "lengths" "sweep" in
+                let* () = reject_extra "values" "sigma" in
+                Ok Scenarios
             | "stats" ->
                 let* () = reject_extra "lengths" "sweep" in
                 let* () = reject_extra "values" "sigma" in
@@ -112,6 +122,15 @@ let parse_with_id ~id fields =
                     if vs = [] then fail "field \"values\" must not be empty"
                     else Ok (Sigma vs))
             | other -> fail (Printf.sprintf "unknown request kind %S" other)
+          in
+          (* the environment spec composes a different chain — it only makes
+             sense for the request kind built to analyze it *)
+          let* () =
+            match (kind, params.Params.env) with
+            | Env, None -> fail "\"env\" requests require a params field \"env\""
+            | Env, Some _ | _, None -> Ok ()
+            | _, Some _ ->
+                fail (Printf.sprintf "params field \"env\" is only valid for \"env\" requests")
           in
           Ok { id; kind; params; deadline_ms; hold_ms }
       | Some _ -> fail "field \"kind\" must be a string"
@@ -139,7 +158,7 @@ let request_json req =
     match req.kind with
     | Sweep ls -> [ ("lengths", Cdr_obs.Jsonl.List (List.map (fun i -> num (float_of_int i)) ls)) ]
     | Sigma vs -> [ ("values", Cdr_obs.Jsonl.List (List.map num vs)) ]
-    | Analyze | Slip | Stats -> []
+    | Analyze | Slip | Env | Scenarios | Stats -> []
   in
   let opt name = function Some v -> [ (name, num v) ] | None -> [] in
   Cdr_obs.Jsonl.Obj
@@ -162,7 +181,8 @@ let cache_key req =
         match kind with
         | Sweep ls -> "[" ^ String.concat "," (List.map string_of_int ls) ^ "]"
         | Sigma vs -> "[" ^ String.concat "," (List.map (Printf.sprintf "%h") vs) ^ "]"
-        | Analyze | Slip | Stats -> ""
+        (* the environment spec rides in the params encoding below *)
+        | Analyze | Slip | Env | Scenarios | Stats -> ""
       in
       Some
         (kind_name kind ^ payload ^ "|"

@@ -35,6 +35,15 @@ type kind =
   | Sweep of int list  (** BER vs counter length (the paper's Figure 5) *)
   | Sigma of float list  (** BER vs eye-opening jitter (Figure 4's axis) *)
   | Slip  (** cycle-slip rate and first-passage times *)
+  | Env
+      (** Markov-modulated jitter environment composed with the CDR chain:
+          regime-weighted BER, slip rate and per-regime conditional
+          statistics. Requires [params.env] (schema version 2); every other
+          kind rejects that field. *)
+  | Scenarios
+      (** list the built-in {!Cdr.Scenario} presets, each with the
+          parameter record a ["scenario"]-seeded request would start from.
+          [params] are accepted and ignored (template reuse, as [Stats]). *)
   | Stats
       (** introspection: a metrics / uptime / queue snapshot of the serving
           process itself. Answered from the worker like any other request
@@ -64,8 +73,8 @@ val default_sigmas : float list
     with [cdr_analyze sigma]). *)
 
 val kind_name : kind -> string
-(** ["analyze"], ["sweep"], ["sigma"], ["slip"] — used in responses, span
-    attributes and metric labels. *)
+(** ["analyze"], ["sweep"], ["sigma"], ["slip"], ["env"], ["scenarios"] —
+    used in responses, span attributes and metric labels. *)
 
 val parse_request : string -> (request, string option * string) result
 (** Parse one request line. [Error (id, message)] carries the request id
@@ -73,7 +82,8 @@ val parse_request : string -> (request, string option * string) result
     still be correlated. Rejects: malformed JSON, non-objects, a missing or
     non-string ["id"], an unknown ["kind"], unknown top-level fields,
     kind/field mismatches (["lengths"] outside [sweep], ["values"] outside
-    [sigma]) and parameter errors (see {!Params.of_json}). *)
+    [sigma], ["params.env"] outside [env] — and [env] without it) and
+    parameter errors (see {!Params.of_json}). *)
 
 val request_json : request -> Cdr_obs.Jsonl.t
 (** Canonical re-encoding: id, kind (plus its [lengths]/[values] payload),

@@ -206,7 +206,7 @@ let test_engine_batch_cache_hits () =
           Cdr_svc.Engine.request =
             analyze_req
               ~id:(Printf.sprintf "b%d" i)
-              ~params:{ tiny_params with Cdr_svc.Params.p_transition = p }
+              ~params:{ tiny_params with Cdr_svc.Params.p01 = p; p10 = p }
               ();
           deadline = None;
           admitted = Cdr_obs.Clock.monotonic ();
